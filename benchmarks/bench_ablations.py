@@ -1,0 +1,106 @@
+"""A1 — ablations for the design choices the paper's discussion singles out.
+
+Each group toggles exactly one mechanism so its contribution is measurable:
+
+* bucket fusion on/off for SSSP on Road (the GraphIt/CGO'20 optimization
+  the GAP reference adopted);
+* direction optimization vs push-only BFS on the power-law graph;
+* Jacobi vs Gauss-Seidel PageRank;
+* Afforest's sample-and-skip vs label propagation vs full-sweep SV for CC;
+* TC with and without the degree relabel on the skewed graph;
+* Galois bulk-synchronous vs asynchronous scheduling on Road.
+"""
+
+import pytest
+
+from repro.galois.bfs import async_bfs, sync_bfs
+from repro.galois.pagerank import gauss_seidel_pagerank
+from repro.gapbs.pagerank import jacobi_pagerank
+from repro.gapbs.sssp import delta_stepping
+from repro.gapbs.tc import triangle_count as gap_tc
+from repro.frameworks import get
+
+from .conftest import delta_for, source_for
+
+
+class TestBucketFusion:
+    @pytest.mark.parametrize("fusion", [True, False], ids=["fused", "unfused"])
+    def test_sssp_road(self, benchmark, kernel_cases, fusion):
+        case = kernel_cases["road"]
+        source = source_for(case)
+        benchmark.group = "ablation:bucket-fusion:road"
+        benchmark.pedantic(
+            lambda: delta_stepping(
+                case.weighted, source, delta=delta_for("road"), bucket_fusion=fusion
+            ),
+            rounds=5,
+            warmup_rounds=1,
+        )
+
+
+class TestDirectionOptimization:
+    @pytest.mark.parametrize("direction", ["hybrid", "push-only"])
+    def test_bfs_kron(self, benchmark, kernel_cases, direction):
+        from repro.graphit import graphit_bfs
+        from repro.graphit.schedules import baseline_schedule
+        from repro.graphitc import Direction
+
+        case = kernel_cases["kron"]
+        source = source_for(case)
+        schedule = baseline_schedule("bfs")
+        if direction == "push-only":
+            schedule = schedule.with_(direction=Direction.SPARSE_PUSH)
+        benchmark.group = "ablation:direction-opt:kron"
+        benchmark.pedantic(
+            lambda: graphit_bfs(case.graph, source, schedule), rounds=5, warmup_rounds=1
+        )
+
+
+class TestPageRankDiscipline:
+    @pytest.mark.parametrize("method", ["jacobi", "gauss-seidel"])
+    def test_pr_kron(self, benchmark, kernel_cases, method):
+        case = kernel_cases["kron"]
+        run = (
+            (lambda: jacobi_pagerank(case.graph))
+            if method == "jacobi"
+            else (lambda: gauss_seidel_pagerank(case.graph))
+        )
+        benchmark.group = "ablation:pr-discipline:kron"
+        benchmark.pedantic(run, rounds=5, warmup_rounds=1)
+
+
+class TestCCAlgorithms:
+    @pytest.mark.parametrize("algorithm", ["afforest", "label-prop", "shiloach-vishkin", "fastsv"])
+    def test_cc_road(self, benchmark, kernel_cases, algorithm):
+        case = kernel_cases["road"]
+        framework = {
+            "afforest": "gap",
+            "label-prop": "graphit",
+            "shiloach-vishkin": "gkc",
+            "fastsv": "suitesparse",
+        }[algorithm]
+        run = get(framework).connected_components
+        benchmark.group = "ablation:cc-algorithm:road"
+        benchmark.pedantic(lambda: run(case.graph), rounds=3, warmup_rounds=1)
+
+
+class TestRelabeling:
+    @pytest.mark.parametrize("relabel", [True, False], ids=["relabel", "no-relabel"])
+    def test_tc_kron(self, benchmark, kernel_cases, relabel):
+        case = kernel_cases["kron"]
+        benchmark.group = "ablation:tc-relabel:kron"
+        benchmark.pedantic(
+            lambda: gap_tc(case.undirected, force_relabel=relabel),
+            rounds=3,
+            warmup_rounds=1,
+        )
+
+
+class TestScheduling:
+    @pytest.mark.parametrize("schedule", ["sync", "async"])
+    def test_bfs_road(self, benchmark, kernel_cases, schedule):
+        case = kernel_cases["road"]
+        source = source_for(case)
+        run = sync_bfs if schedule == "sync" else async_bfs
+        benchmark.group = "ablation:scheduling:road"
+        benchmark.pedantic(lambda: run(case.graph, source), rounds=5, warmup_rounds=1)

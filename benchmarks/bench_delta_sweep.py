@@ -1,0 +1,30 @@
+"""A2 — delta sensitivity: why GAP exempts delta from the no-tuning rule.
+
+The paper: "GAP allows customization of this parameter based on the graph
+topology because it can lead to orders of magnitude difference in
+performance otherwise."  This sweep measures SSSP across a delta range on
+the two contrasting topologies so that sensitivity is visible in the
+benchmark report: Road's optimum sits at large deltas (deep distance
+range, tiny frontiers), the power-law graph's at small ones.
+"""
+
+import pytest
+
+from repro.core import SourcePicker
+from repro.frameworks import RunContext, get
+
+DELTAS = (4, 16, 64, 256, 1024)
+
+
+@pytest.mark.parametrize("delta", DELTAS)
+@pytest.mark.parametrize("graph_name", ["road", "kron"])
+def test_delta_sweep(benchmark, kernel_cases, graph_name, delta):
+    case = kernel_cases[graph_name]
+    gap = get("gap")
+    source = SourcePicker(case.graph).next_source()
+    ctx = RunContext(delta=delta)
+    benchmark.group = f"delta-sweep:{graph_name}"
+    benchmark.extra_info["delta"] = delta
+    benchmark.pedantic(
+        lambda: gap.sssp(case.weighted, source, ctx), rounds=3, warmup_rounds=1
+    )

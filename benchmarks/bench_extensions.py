@@ -1,0 +1,25 @@
+"""X1 — beyond-GAP kernels: the Graphalytics CDLP and LCC extensions.
+
+The paper's introduction positions GAP against LDBC Graphalytics, whose
+kernel set adds community detection via label propagation and local
+clustering coefficient; these benches cover that delta on the same corpus
+contrast pair.
+"""
+
+import pytest
+
+from repro.extensions import cdlp, lcc
+
+
+@pytest.mark.parametrize("graph_name", ["road", "kron"])
+def test_cdlp(benchmark, kernel_cases, graph_name):
+    case = kernel_cases[graph_name]
+    benchmark.group = f"cdlp:{graph_name}"
+    benchmark.pedantic(lambda: cdlp(case.graph, max_iterations=10), rounds=3, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("graph_name", ["road", "kron"])
+def test_lcc(benchmark, kernel_cases, graph_name):
+    case = kernel_cases[graph_name]
+    benchmark.group = f"lcc:{graph_name}"
+    benchmark.pedantic(lambda: lcc(case.undirected), rounds=3, warmup_rounds=1)

@@ -1,0 +1,51 @@
+"""S1 — scaling series: kernel time vs graph scale on the reference.
+
+The paper's corpus is fixed-scale, but its discussion of Road repeatedly
+appeals to how per-round overheads scale with problem size; this bench
+produces the time-vs-scale series for the GAP reference on the two
+contrasting topologies, so the growth shape (near-linear for the bulk
+kernels, overhead-dominated for Road's tiny frontiers) is measurable.
+"""
+
+import pytest
+
+from repro.core import GraphCase, SourcePicker
+from repro.core.spec import DELTA_BY_GRAPH
+from repro.frameworks import get
+
+SCALES = (9, 10, 11, 12)
+
+
+@pytest.fixture(scope="module")
+def scaled_cases():
+    """road/kron at each scale of the sweep."""
+    return {
+        (name, scale): GraphCase.build(name, scale=scale)
+        for name in ("road", "kron")
+        for scale in SCALES
+    }
+
+
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("graph_name", ["road", "kron"])
+@pytest.mark.parametrize("kernel", ["bfs", "sssp", "pr", "cc"])
+def test_scaling(benchmark, scaled_cases, kernel, graph_name, scale):
+    case = scaled_cases[(graph_name, scale)]
+    gap = get("gap")
+    benchmark.group = f"scaling:{kernel}:{graph_name}"
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["edges"] = case.graph.num_edges
+    if kernel == "bfs":
+        source = SourcePicker(case.graph).next_source()
+        run = lambda: gap.bfs(case.graph, source)
+    elif kernel == "sssp":
+        source = SourcePicker(case.graph).next_source()
+        from repro.frameworks import RunContext
+
+        ctx = RunContext(delta=DELTA_BY_GRAPH.get(graph_name, 16))
+        run = lambda: gap.sssp(case.weighted, source, ctx)
+    elif kernel == "pr":
+        run = lambda: gap.pagerank(case.graph)
+    else:
+        run = lambda: gap.connected_components(case.graph)
+    benchmark.pedantic(run, rounds=3, warmup_rounds=1)

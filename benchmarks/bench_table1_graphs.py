@@ -1,0 +1,41 @@
+"""T1 — Table I: generate and characterize the five-graph corpus.
+
+Each benchmark generates one corpus analog and attaches its measured
+Table I row (vertices, edges, degree, distribution class, approximate
+diameter) alongside the paper's original statistics via
+``benchmark.extra_info``, so the pytest-benchmark report carries the whole
+paper-vs-generated comparison.
+"""
+
+import pytest
+
+from repro.generators import GAP_GRAPHS, GRAPH_NAMES, build_graph
+from repro.graphs import analyze
+
+from .conftest import BENCH_SCALE
+
+
+@pytest.mark.parametrize("name", GRAPH_NAMES)
+def test_generate_and_characterize(benchmark, name):
+    graph = benchmark.pedantic(
+        lambda: build_graph(name, scale=BENCH_SCALE),
+        rounds=3,
+        warmup_rounds=1,
+    )
+    properties = analyze(graph, name)
+    paper = GAP_GRAPHS[name]
+    benchmark.extra_info.update(
+        {
+            "vertices": properties.num_vertices,
+            "edges": properties.num_edges,
+            "directed": properties.directed,
+            "degree": round(properties.average_degree, 2),
+            "distribution": properties.degree_distribution,
+            "approx_diameter": properties.approx_diameter,
+            "paper_distribution": paper.paper_distribution,
+            "paper_diameter": paper.paper_diameter,
+            "paper_degree": paper.paper_degree,
+        }
+    )
+    # The Table I topology-class contract must hold at bench scale too.
+    assert properties.degree_distribution == paper.paper_distribution

@@ -1,0 +1,58 @@
+"""T4/T5 — Tables IV & V: every (framework, kernel, graph, mode) cell.
+
+One pytest-benchmark entry per cell of the paper's 30-test matrix, for all
+six frameworks under both rule sets — the data behind Table IV (fastest
+time + winner) and Table V (speedup over the GAP reference).  The
+pytest-benchmark comparison output *is* the table data; the pretty
+paper-formatted rendering (with winner colors replaced by winner names and
+percentages) is produced by ``examples/report_tables.py``.
+
+Untimed per GAP rules and the paper's methodology: graph building,
+weighting, symmetrization (handled by the session fixture) and any
+framework-specific Optimized-mode preparation (the ``prepare`` hook, e.g.
+Galois' untimed TC relabel).
+"""
+
+import pytest
+
+from repro.frameworks import FRAMEWORK_NAMES, KERNELS, Mode, RunContext, get
+
+from .conftest import bc_roots, delta_for, source_for
+
+
+def _make_runner(framework, kernel, case, ctx):
+    """Closure running one timed kernel invocation, inputs precomputed."""
+    if kernel == "bfs":
+        source = source_for(case)
+        graph = framework.prepare(kernel, case.graph, ctx)
+        return lambda: framework.bfs(graph, source, ctx)
+    if kernel == "sssp":
+        source = source_for(case)
+        graph = framework.prepare(kernel, case.weighted, ctx)
+        return lambda: framework.sssp(graph, source, ctx)
+    if kernel == "cc":
+        graph = framework.prepare(kernel, case.graph, ctx)
+        return lambda: framework.connected_components(graph, ctx)
+    if kernel == "pr":
+        graph = framework.prepare(kernel, case.graph, ctx)
+        return lambda: framework.pagerank(graph, ctx)
+    if kernel == "bc":
+        roots = bc_roots(case)
+        graph = framework.prepare(kernel, case.graph, ctx)
+        return lambda: framework.betweenness(graph, roots, ctx)
+    if kernel == "tc":
+        graph = framework.prepare(kernel, case.undirected, ctx)
+        return lambda: framework.triangle_count(graph, ctx)
+    raise ValueError(kernel)
+
+
+@pytest.mark.parametrize("mode", [Mode.BASELINE, Mode.OPTIMIZED], ids=lambda m: m.value)
+@pytest.mark.parametrize("fw_name", FRAMEWORK_NAMES)
+@pytest.mark.parametrize("graph_name", ["road", "twitter", "web", "kron", "urand"])
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_cell(benchmark, cases, kernel, graph_name, fw_name, mode):
+    case = cases[graph_name]
+    ctx = RunContext(mode=mode, graph_name=graph_name, delta=delta_for(graph_name))
+    runner = _make_runner(get(fw_name), kernel, case, ctx)
+    benchmark.group = f"{mode.value}:{kernel}:{graph_name}"
+    benchmark.pedantic(runner, rounds=3, warmup_rounds=1)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark suite.
+
+The benches run at a reduced scale (2**10 vertices by default) so the full
+360-cell Table IV/V sweep stays fast under pytest-benchmark's repetition;
+`examples/report_tables.py` runs the same harness at the full default scale
+and regenerates the EXPERIMENTS.md tables.  Set REPRO_BENCH_SCALE to
+override.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import BenchmarkSpec, GraphCase, SourcePicker
+from repro.core.spec import DELTA_BY_GRAPH
+from repro.frameworks import get
+from repro.generators import GRAPH_NAMES
+
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "10"))
+KERNEL_SCALE = int(os.environ.get("REPRO_KERNEL_BENCH_SCALE", "11"))
+
+
+@pytest.fixture(scope="session")
+def cases() -> dict[str, GraphCase]:
+    """The five-graph corpus, prebuilt once (untimed, per GAP rules)."""
+    return {name: GraphCase.build(name, scale=BENCH_SCALE) for name in GRAPH_NAMES}
+
+
+@pytest.fixture(scope="session")
+def kernel_cases() -> dict[str, GraphCase]:
+    """Contrast pair (road vs kron) at a larger scale for per-kernel benches."""
+    return {name: GraphCase.build(name, scale=KERNEL_SCALE) for name in ("road", "kron")}
+
+
+@pytest.fixture(scope="session")
+def spec() -> BenchmarkSpec:
+    return BenchmarkSpec(scale=BENCH_SCALE, trials={k: 1 for k in ("bfs", "sssp", "cc", "pr", "bc", "tc")})
+
+
+def source_for(case: GraphCase, seed: int = 0) -> int:
+    return SourcePicker(case.graph, seed).next_source()
+
+
+def bc_roots(case: GraphCase, seed: int = 0):
+    return SourcePicker(case.graph, seed).next_sources(4)
+
+
+def delta_for(name: str) -> int:
+    return DELTA_BY_GRAPH.get(name, 16)
+
+
+def framework(name: str):
+    return get(name)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package that PEP 660 editable
+installs require, so we keep a classic ``setup.py`` to allow
+``pip install -e . --no-build-isolation --no-use-pep517``.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""Reproduction of "Evaluation of Graph Analytics Frameworks Using the GAP
+Benchmark Suite" (Azad et al., IISWC 2020).
+
+The package implements, in pure Python/NumPy:
+
+* the GAP benchmark corpus (five topologically diverse graphs) and its six
+  kernels (BFS, SSSP, PR, CC, BC, TC);
+* six frameworks' execution models — the GAP reference (`repro.gapbs`),
+  SuiteSparse:GraphBLAS + LAGraph (`repro.semiring` + `repro.lagraph`),
+  Galois (`repro.worklist` + `repro.galois`), NWGraph (`repro.ranges` +
+  `repro.nwgraph`), GraphIt (`repro.graphitc` + `repro.graphit`), and the
+  Graph Kernel Collection (`repro.gkc`);
+* the benchmarking harness that regenerates the paper's Tables I–V
+  (`repro.core`).
+
+Quickstart::
+
+    from repro import build_graph, frameworks
+    g = build_graph("kron", scale=10)
+    result = frameworks.get("gap").bfs(g, source=0)
+"""
+
+from . import frameworks
+from .errors import ReproError
+from .generators import build_corpus, build_graph, weighted_version
+from .graphs import CSRGraph, EdgeList
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "EdgeList",
+    "ReproError",
+    "build_corpus",
+    "build_graph",
+    "frameworks",
+    "weighted_version",
+    "__version__",
+]

@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro run [--scale N] [--graphs a,b] [--kernels x,y]
+                        [--frameworks f,g] [--modes baseline,optimized]
+                        [--out results.json]
+    python -m repro tables --results results.json
+    python -m repro graphs [--scale N]          # Table I
+    python -m repro compare --results results.json
+    python -m repro generate road --scale N --out road.el [--weighted]
+    python -m repro report --results results.json --out report.md
+
+``run`` executes the benchmark campaign with verification and prints
+Tables IV/V; ``compare`` scores the results against the paper's published
+Table V (direction agreement / rank correlation); ``generate`` writes a
+corpus graph to a GAP-style edge-list file; ``report`` renders a saved
+campaign as markdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import BenchmarkSpec, ResultSet, run_suite
+from .core.comparison import agreement_summary, compare_table5, framework_rank_correlation
+from .core.report import write_markdown_report
+from .core.tables import render, table1_rows, table4_rows, table5_rows
+from .frameworks import EXTENDED_FRAMEWORK_NAMES, KERNELS, Mode, get
+from .generators import DEFAULT_SCALE, GRAPH_NAMES, build_corpus, build_graph, weighted_version
+from .graphs import write_edge_list
+
+
+def _split(value: str, allowed: tuple[str, ...], label: str) -> list[str]:
+    names = [item.strip() for item in value.split(",") if item.strip()]
+    unknown = [name for name in names if name not in allowed]
+    if unknown:
+        raise SystemExit(f"unknown {label}: {unknown} (allowed: {list(allowed)})")
+    return names
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    frameworks = [
+        get(name)
+        for name in _split(args.frameworks, EXTENDED_FRAMEWORK_NAMES, "framework")
+    ]
+    graphs = _split(args.graphs, GRAPH_NAMES, "graph")
+    kernels = _split(args.kernels, KERNELS, "kernel")
+    modes = [Mode(mode) for mode in args.modes.split(",")]
+    spec = BenchmarkSpec(scale=args.scale)
+    results = run_suite(
+        frameworks,
+        graphs,
+        kernels=kernels,
+        modes=modes,
+        spec=spec,
+        progress=lambda label: print(f"\r  {label:<50}", end="", flush=True),
+    )
+    print(f"\r{len(results)} cells measured (outputs verified)." + " " * 30)
+    if args.out:
+        results.save_json(args.out)
+        print(f"saved to {args.out}")
+    print(render(table4_rows(results, graphs), "Table IV"))
+    print(render(table5_rows(results, graphs), "Table V"))
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    results = ResultSet.load_json(args.results)
+    graphs = [g for g in GRAPH_NAMES if results.lookup(graph=g)]
+    print(render(table4_rows(results, graphs), "Table IV"))
+    print(render(table5_rows(results, graphs), "Table V"))
+    return 0
+
+
+def _cmd_graphs(args: argparse.Namespace) -> int:
+    print(render(table1_rows(build_corpus(scale=args.scale)), "Table I"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    results = ResultSet.load_json(args.results)
+    comparisons = compare_table5(results)
+    summary = agreement_summary(comparisons)
+    print(f"cells: {summary['cells']}")
+    print(f"direction agreement: {summary['direction_agreement']:.1%}")
+    print("per kernel:", {k: round(v, 2) for k, v in summary["per_kernel"].items()})
+    print("per framework:", {k: round(v, 2) for k, v in summary["per_framework"].items()})
+    print("rank correlation:", {k: round(v, 2) for k, v in framework_rank_correlation(comparisons).items()})
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.graph not in GRAPH_NAMES:
+        raise SystemExit(f"unknown graph {args.graph!r} (allowed: {list(GRAPH_NAMES)})")
+    graph = build_graph(args.graph, scale=args.scale, seed=args.seed)
+    if args.weighted:
+        graph = weighted_version(graph, seed=args.seed)
+    write_edge_list(graph, args.out)
+    kind = "weighted " if args.weighted else ""
+    print(
+        f"wrote {kind}{args.graph} (n={graph.num_vertices}, m={graph.num_edges}) "
+        f"to {args.out}"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    results = ResultSet.load_json(args.results)
+    graphs = [g for g in GRAPH_NAMES if results.lookup(graph=g)]
+    write_markdown_report(results, graphs, args.out)
+    print(f"markdown report written to {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run the benchmark campaign")
+    run_parser.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+    run_parser.add_argument("--graphs", default=",".join(GRAPH_NAMES))
+    run_parser.add_argument("--kernels", default=",".join(KERNELS))
+    run_parser.add_argument("--frameworks", default=",".join(EXTENDED_FRAMEWORK_NAMES[:6]))
+    run_parser.add_argument("--modes", default="baseline,optimized")
+    run_parser.add_argument("--out", default=None)
+    run_parser.set_defaults(fn=_cmd_run)
+
+    tables_parser = sub.add_parser("tables", help="render tables from saved results")
+    tables_parser.add_argument("--results", required=True)
+    tables_parser.set_defaults(fn=_cmd_tables)
+
+    graphs_parser = sub.add_parser("graphs", help="print Table I for the corpus")
+    graphs_parser.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+    graphs_parser.set_defaults(fn=_cmd_graphs)
+
+    compare_parser = sub.add_parser("compare", help="score results against the paper")
+    compare_parser.add_argument("--results", required=True)
+    compare_parser.set_defaults(fn=_cmd_compare)
+
+    generate_parser = sub.add_parser("generate", help="write a corpus graph to disk")
+    generate_parser.add_argument("graph")
+    generate_parser.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+    generate_parser.add_argument("--seed", type=int, default=0)
+    generate_parser.add_argument("--weighted", action="store_true")
+    generate_parser.add_argument("--out", required=True)
+    generate_parser.set_defaults(fn=_cmd_generate)
+
+    report_parser = sub.add_parser("report", help="render saved results as markdown")
+    report_parser.add_argument("--results", required=True)
+    report_parser.add_argument("--out", required=True)
+    report_parser.set_defaults(fn=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

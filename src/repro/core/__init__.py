@@ -1,0 +1,37 @@
+"""Benchmark-suite core: shared primitives, spec, runner, verification, tables.
+
+Submodules:
+
+* ``bitmap`` / ``nputil`` / ``hooking`` — shared vectorized primitives.
+* ``counters`` — machine-independent work metrics.
+* ``spec`` — the GAP benchmark rules (trials, sources, parameters).
+* ``verify`` — per-kernel output verification oracles.
+* ``runner`` — executes kernels under the Baseline/Optimized rule sets.
+* ``results`` / ``tables`` — result records and Table I–V renderers.
+"""
+
+from . import counters
+from .bitmap import Bitmap
+from .results import ResultSet, RunResult
+from .runner import GraphCase, run_cell, run_suite
+from .spec import BenchmarkSpec, SourcePicker
+from .sweeps import delta_sweep, direction_threshold_sweep, scale_sweep
+from .workload import FrontierTrace, sparkline, trace_bfs
+
+__all__ = [
+    "BenchmarkSpec",
+    "Bitmap",
+    "FrontierTrace",
+    "GraphCase",
+    "ResultSet",
+    "RunResult",
+    "SourcePicker",
+    "counters",
+    "delta_sweep",
+    "direction_threshold_sweep",
+    "run_cell",
+    "run_suite",
+    "scale_sweep",
+    "sparkline",
+    "trace_bfs",
+]

@@ -1,0 +1,69 @@
+"""Dense bitmap used for frontier and visited-set representations.
+
+Several frameworks in the study rely on dense bitmaps: the GAP reference
+uses one for the pull phase of direction-optimizing BFS and to store BC
+successors, GraphIt's schedules can select a "bitvector" frontier layout,
+and GraphBLAS internally converts sparse vectors to bitmaps for pull steps.
+This shared utility wraps a NumPy boolean array with the operations those
+uses need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Bitmap"]
+
+
+class Bitmap:
+    """A fixed-size set of vertex ids backed by a boolean array."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, size: int) -> None:
+        self.bits = np.zeros(size, dtype=bool)
+
+    @classmethod
+    def from_indices(cls, size: int, indices: np.ndarray) -> "Bitmap":
+        """Build a bitmap with the given ids set."""
+        bitmap = cls(size)
+        bitmap.bits[indices] = True
+        return bitmap
+
+    @property
+    def size(self) -> int:
+        return int(self.bits.size)
+
+    def set(self, indices: np.ndarray | int) -> None:
+        """Mark ids as present."""
+        self.bits[indices] = True
+
+    def clear(self, indices: np.ndarray | int | None = None) -> None:
+        """Unmark ids, or reset the whole bitmap when called without args."""
+        if indices is None:
+            self.bits[:] = False
+        else:
+            self.bits[indices] = False
+
+    def contains(self, indices: np.ndarray | int) -> np.ndarray | bool:
+        """Membership of one id or a vector of ids."""
+        result = self.bits[indices]
+        return bool(result) if np.isscalar(indices) else result
+
+    def to_indices(self) -> np.ndarray:
+        """Sorted array of ids currently set."""
+        return np.flatnonzero(self.bits)
+
+    def count(self) -> int:
+        """Number of ids set."""
+        return int(self.bits.sum())
+
+    def swap(self, other: "Bitmap") -> None:
+        """Exchange contents with another bitmap (double-buffered frontiers)."""
+        self.bits, other.bits = other.bits, self.bits
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __contains__(self, vertex: int) -> bool:
+        return bool(self.bits[vertex])

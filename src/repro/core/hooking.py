@@ -1,0 +1,84 @@
+"""Vectorized hooking / pointer-jumping primitives for connectivity kernels.
+
+Afforest (GAP, Galois, NWGraph), Shiloach–Vishkin (GKC), and FastSV
+(SuiteSparse) are all built from the same two moves — *hooking* (pointing a
+component representative at a smaller label across an edge) and
+*compression* (pointer jumping toward the root).  The frameworks differ in
+which edges they hook, in what order, and how aggressively they compress;
+those policies live in the framework packages, while the shared vectorized
+moves live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import counters
+
+__all__ = [
+    "compress",
+    "hook_pass",
+    "converge",
+    "majority_component",
+]
+
+
+def compress(comp: np.ndarray) -> None:
+    """Full path compression: jump pointers until every label is a root."""
+    while True:
+        parents = comp[comp]
+        if np.array_equal(parents, comp):
+            return
+        np.copyto(comp, parents)
+
+
+def hook_pass(comp: np.ndarray, src: np.ndarray, dst: np.ndarray) -> bool:
+    """One hooking sweep over an edge set; returns whether anything changed.
+
+    For each edge, the larger of the two endpoint labels is pointed at the
+    smaller (via the labels' current representatives), then one round of
+    pointer jumping is applied.  Equivalent to the lock-free min-hooking in
+    the C++ implementations.
+    """
+    counters.add_edges(src.size)
+    if src.size == 0:
+        return False
+    cu = comp[src]
+    cv = comp[dst]
+    low = np.minimum(cu, cv)
+    before = comp.copy()
+    np.minimum.at(comp, cu, low)
+    np.minimum.at(comp, cv, low)
+    comp[:] = comp[comp]
+    return not np.array_equal(before, comp)
+
+
+def converge(comp: np.ndarray, src: np.ndarray, dst: np.ndarray) -> int:
+    """Repeat hook passes + compression over an edge set until stable.
+
+    Returns the number of passes taken.  On exit every connected component
+    of the given edge set carries a single minimum label.
+    """
+    passes = 0
+    while True:
+        passes += 1
+        counters.add_iteration()
+        changed = hook_pass(comp, src, dst)
+        compress(comp)
+        if not changed:
+            return passes
+
+
+def majority_component(
+    comp: np.ndarray, rng: np.random.Generator, num_samples: int = 1024
+) -> int:
+    """Sample labels to guess the largest component (Afforest's shortcut).
+
+    Mirrors the sampling heuristic of Sutton et al.: look at a fixed number
+    of random vertices and return the most frequent label among them.
+    """
+    if comp.size == 0:
+        return 0
+    samples = comp[rng.integers(0, comp.size, size=min(num_samples, comp.size))]
+    labels, freq = np.unique(samples, return_counts=True)
+    return int(labels[np.argmax(freq)])

@@ -1,0 +1,101 @@
+"""Memory-footprint accounting for graph representations.
+
+Section V of the paper points out a structural handicap: GraphBLAS is
+designed for graphs up to 2^60 nodes and therefore uses 64-bit indices
+throughout, while the other frameworks default to 32-bit indices that
+easily cover the benchmark graphs — half the memory traffic per edge.
+This module quantifies that: it computes the bytes a CSR representation
+needs under each framework's index-width policy, so the footprint column
+can sit alongside the timing tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graphs import CSRGraph
+
+__all__ = ["FootprintEstimate", "csr_bytes", "framework_footprints", "INDEX_WIDTH"]
+
+# Index width in bytes per framework (the paper's Section V discussion).
+INDEX_WIDTH: dict[str, int] = {
+    "gap": 4,
+    "gkc": 4,
+    "galois": 4,
+    "nwgraph": 4,
+    "graphit": 4,
+    "suitesparse": 8,  # GraphBLAS: 2^60-vertex design point
+    "ligra": 4,
+}
+
+OFFSET_BYTES = 8  # row offsets are 64-bit everywhere (edge counts overflow 32-bit)
+
+
+@dataclass(frozen=True)
+class FootprintEstimate:
+    """Estimated resident bytes for one framework's graph storage."""
+
+    framework: str
+    index_bytes: int
+    adjacency_bytes: int
+    offset_bytes: int
+    weight_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Adjacency + offsets + weights."""
+        return self.adjacency_bytes + self.offset_bytes + self.weight_bytes
+
+    def as_row(self) -> dict[str, object]:
+        """Render as a printable row (sizes in MiB)."""
+        scale = 1024.0 * 1024.0
+        return {
+            "Framework": self.framework,
+            "Index width": f"{self.index_bytes} B",
+            "Adjacency (MiB)": round(self.adjacency_bytes / scale, 3),
+            "Offsets (MiB)": round(self.offset_bytes / scale, 3),
+            "Weights (MiB)": round(self.weight_bytes / scale, 3),
+            "Total (MiB)": round(self.total_bytes / scale, 3),
+        }
+
+
+def csr_bytes(
+    graph: CSRGraph, index_bytes: int, weight_bytes: int = 0
+) -> FootprintEstimate:
+    """Bytes for one CSR pair (out + in adjacency) at a given index width.
+
+    Matches the GAP storage convention every framework here follows: both
+    orientations resident (undirected graphs alias them, so they count
+    once), 64-bit row offsets, optional per-edge weights.
+    """
+    orientations = 2 if graph.directed else 1
+    adjacency = orientations * graph.num_edges * index_bytes
+    offsets = orientations * (graph.num_vertices + 1) * OFFSET_BYTES
+    weights = orientations * graph.num_edges * weight_bytes
+    return FootprintEstimate(
+        framework="",
+        index_bytes=index_bytes,
+        adjacency_bytes=adjacency,
+        offset_bytes=offsets,
+        weight_bytes=weights,
+    )
+
+
+def framework_footprints(
+    graph: CSRGraph, weighted: bool = False
+) -> list[FootprintEstimate]:
+    """Per-framework storage estimates for one input graph."""
+    weight_bytes = 4 if weighted else 0  # int32 weights, as in GAP
+    estimates = []
+    for framework, width in INDEX_WIDTH.items():
+        base = csr_bytes(graph, width, weight_bytes)
+        estimates.append(
+            FootprintEstimate(
+                framework=framework,
+                index_bytes=width,
+                adjacency_bytes=base.adjacency_bytes,
+                offset_bytes=base.offset_bytes,
+                weight_bytes=base.weight_bytes,
+            )
+        )
+    return estimates

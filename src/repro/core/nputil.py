@@ -1,0 +1,65 @@
+"""Vectorized CSR access helpers shared by all framework implementations.
+
+Expanding "the out-edges of every vertex in a frontier" is a raw memory
+operation every framework performs identically in hardware; the frameworks
+differentiate *above* this level (frontier representation, direction choice,
+scheduling).  Centralizing the gather keeps each framework package focused
+on what actually distinguishes it in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["expand_frontier", "expand_frontier_weighted", "row_slices"]
+
+
+def expand_frontier(
+    indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gather all edges leaving ``frontier``.
+
+    Returns ``(sources, targets)`` where ``sources[i]`` is the frontier
+    vertex owning edge ``i`` and ``targets[i]`` its head.  Duplicate targets
+    are preserved (deduplication policy is a framework decision).
+    """
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    # Build a flat index selecting each vertex's adjacency slice: offsets
+    # within the concatenated output minus the cumulative starts.
+    sources = np.repeat(frontier, counts)
+    offsets = np.arange(total, dtype=np.int64)
+    row_begin = np.repeat(np.cumsum(counts) - counts, counts)
+    flat = np.repeat(starts, counts) + (offsets - row_begin)
+    return sources, indices[flat]
+
+
+def expand_frontier_weighted(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    frontier: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Like :func:`expand_frontier` but also returns per-edge weights."""
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0, dtype=weights.dtype)
+    sources = np.repeat(frontier, counts)
+    offsets = np.arange(total, dtype=np.int64)
+    row_begin = np.repeat(np.cumsum(counts) - counts, counts)
+    flat = np.repeat(starts, counts) + (offsets - row_begin)
+    return sources, indices[flat], weights[flat]
+
+
+def row_slices(
+    indptr: np.ndarray, indices: np.ndarray, vertices: np.ndarray
+) -> list[np.ndarray]:
+    """Adjacency rows of ``vertices`` as a list of array views."""
+    return [indices[indptr[v]: indptr[v + 1]] for v in vertices]

@@ -1,0 +1,196 @@
+"""The paper's published results (Tables IV and V), as data.
+
+Transcribed from Azad et al., IISWC 2020.  Table V values are speedups
+over the GAP reference in percent (100 = parity, 50 = twice as slow,
+200 = twice as fast); Table IV values are the fastest measured times in
+seconds on the paper's 2 x Xeon Platinum 8153 testbed.
+
+These constants feed the shape-agreement comparator in
+:mod:`repro.core.comparison` and the EXPERIMENTS.md generator: absolute
+numbers cannot transfer to a pure-Python substrate, but the *direction* of
+each cell (faster or slower than the reference) and the relative ordering
+of cells are the reproduction targets.
+"""
+
+from __future__ import annotations
+
+from ..frameworks.base import Mode
+
+__all__ = ["PAPER_GRAPH_ORDER", "paper_table5", "paper_table4", "PAPER_TABLE5", "PAPER_TABLE4"]
+
+# The paper's column order.
+PAPER_GRAPH_ORDER: tuple[str, ...] = ("web", "twitter", "road", "kron", "urand")
+
+# {framework: {kernel: {mode: (web, twitter, road, kron, urand)}}}
+PAPER_TABLE5: dict[str, dict[str, dict[str, tuple[float, ...]]]] = {
+    "suitesparse": {
+        "bfs": {
+            "baseline": (39.98, 60.50, 13.74, 58.14, 51.09),
+            "optimized": (36.38, 54.04, 8.02, 53.71, 46.48),
+        },
+        "sssp": {
+            "baseline": (8.50, 32.23, 0.35, 32.10, 40.51),
+            "optimized": (5.84, 31.18, 0.43, 23.95, 32.56),
+        },
+        "cc": {
+            "baseline": (12.66, 18.87, 7.40, 20.13, 43.45),
+            "optimized": (11.08, 15.65, 6.30, 15.96, 33.05),
+        },
+        "pr": {
+            "baseline": (92.86, 87.92, 137.50, 91.04, 91.45),
+            "optimized": (85.02, 91.21, 173.42, 96.53, 97.81),
+        },
+        "bc": {
+            "baseline": (54.00, 70.93, 3.96, 80.38, 92.40),
+            "optimized": (42.69, 69.64, 3.46, 85.74, 84.95),
+        },
+        "tc": {
+            "baseline": (48.76, 31.92, 12.86, 34.01, 61.51),
+            "optimized": (55.53, 34.49, 12.47, 37.46, 61.04),
+        },
+    },
+    "galois": {
+        "bfs": {
+            "baseline": (54.18, 44.77, 351.04, 57.14, 8.93),
+            "optimized": (58.55, 41.88, 220.92, 62.16, 77.85),
+        },
+        "sssp": {
+            "baseline": (46.13, 55.94, 54.40, 41.76, 49.47),
+            "optimized": (26.62, 45.11, 67.37, 58.06, 53.53),
+        },
+        "cc": {
+            "baseline": (64.43, 114.02, 84.11, 85.22, 66.06),
+            "optimized": (113.94, 75.16, 90.16, 85.53, 49.16),
+        },
+        "pr": {
+            "baseline": (157.54, 84.36, 331.66, 106.15, 117.35),
+            "optimized": (154.67, 108.96, 456.72, 110.63, 125.71),
+        },
+        "bc": {
+            "baseline": (102.90, 68.88, 54.66, 71.36, 30.88),
+            "optimized": (105.52, 73.18, 43.83, 72.87, 75.12),
+        },
+        "tc": {
+            "baseline": (113.14, 108.29, 111.57, 98.02, 81.26),
+            "optimized": (235.19, 140.02, 130.04, 106.39, 90.62),
+        },
+    },
+    "graphit": {
+        "bfs": {
+            "baseline": (64.24, 86.40, 37.14, 84.29, 88.59),
+            "optimized": (54.11, 83.92, 74.34, 88.59, 95.14),
+        },
+        "sssp": {
+            "baseline": (106.50, 110.96, 94.74, 112.40, 107.56),
+            "optimized": (86.17, 104.35, 93.88, 96.13, 106.48),
+        },
+        "cc": {
+            "baseline": (19.60, 8.86, 0.17, 7.06, 16.92),
+            "optimized": (16.10, 19.55, 0.45, 16.45, 27.85),
+        },
+        "pr": {
+            "baseline": (194.40, 109.23, 307.38, 102.72, 101.64),
+            "optimized": (149.14, 196.47, 350.03, 211.61, 186.20),
+        },
+        "bc": {
+            "baseline": (73.23, 100.23, 45.98, 224.15, 272.49),
+            "optimized": (75.85, 189.21, 34.67, 223.41, 251.01),
+        },
+        "tc": {
+            "baseline": (99.30, 108.45, 67.67, 113.89, 101.73),
+            "optimized": (98.72, 107.06, 98.41, 106.97, 104.38),
+        },
+    },
+    "gkc": {
+        "bfs": {
+            "baseline": (68.68, 67.33, 157.85, 61.20, 67.47),
+            "optimized": (74.44, 60.29, 83.29, 56.75, 64.35),
+        },
+        "sssp": {
+            "baseline": (113.22, 89.68, 18.38, 86.72, 119.25),
+            "optimized": (115.98, 98.23, 18.53, 77.29, 118.17),
+        },
+        "cc": {
+            "baseline": (31.87, 26.53, 14.29, 32.95, 295.12),
+            "optimized": (27.69, 19.76, 10.82, 23.46, 214.27),
+        },
+        "pr": {
+            "baseline": (191.32, 105.56, 358.54, 136.28, 142.03),
+            "optimized": (125.03, 104.14, 324.19, 137.15, 150.24),
+        },
+        "bc": {
+            "baseline": (106.98, 100.30, 101.55, 101.60, 102.33),
+            "optimized": (106.23, 97.49, 77.15, 101.34, 102.76),
+        },
+        "tc": {
+            "baseline": (107.36, 157.92, 149.43, 197.51, 123.19),
+            "optimized": (106.98, 160.46, 176.41, 187.20, 113.98),
+        },
+    },
+    "nwgraph": {
+        "bfs": {
+            "baseline": (23.78, 65.85, 53.02, 65.34, 42.54),
+            "optimized": (26.59, 66.57, 33.97, 67.28, 48.74),
+        },
+        "sssp": {
+            "baseline": (47.62, 85.35, 4.61, 114.69, 54.25),
+            "optimized": (46.33, 109.46, 6.58, 102.53, 55.39),
+        },
+        "cc": {
+            "baseline": (59.89, 69.09, 62.36, 61.50, 99.63),
+            "optimized": (49.60, 64.33, 60.34, 57.21, 87.41),
+        },
+        "pr": {
+            "baseline": (230.67, 110.38, 373.94, 108.16, 120.65),
+            "optimized": (175.33, 119.14, 499.59, 112.20, 124.68),
+        },
+        "bc": {
+            "baseline": (139.07, 135.88, 41.49, 163.21, 92.44),
+            "optimized": (117.33, 139.02, 38.15, 151.84, 90.77),
+        },
+        "tc": {
+            "baseline": (249.06, 132.30, 60.61, 108.27, 124.01),
+            "optimized": (228.14, 129.97, 51.35, 109.45, 112.77),
+        },
+    },
+}
+
+# Table IV: fastest time in seconds, {kernel: {mode: (web..urand)}}.
+PAPER_TABLE4: dict[str, dict[str, tuple[float, ...]]] = {
+    "bfs": {
+        "baseline": (0.329, 0.248, 0.130, 0.365, 0.570),
+        "optimized": (0.300, 0.214, 0.109, 0.308, 0.486),
+    },
+    "sssp": {
+        "baseline": (0.900, 2.217, 0.269, 4.566, 6.438),
+        "optimized": (0.603, 2.174, 0.272, 3.810, 5.199),
+    },
+    "cc": {
+        "baseline": (0.219, 0.246, 0.060, 0.691, 0.670),
+        "optimized": (0.167, 0.209, 0.045, 0.479, 0.606),
+    },
+    "pr": {
+        "baseline": (2.554, 10.268, 0.338, 11.050, 12.143),
+        "optimized": (2.737, 5.405, 0.267, 6.960, 9.499),
+    },
+    "bc": {
+        "baseline": (3.178, 8.237, 2.431, 13.300, 16.389),
+        "optimized": (2.978, 5.215, 1.876, 11.240, 14.040),
+    },
+    "tc": {
+        "baseline": (9.358, 62.356, 0.028, 207.627, 24.716),
+        "optimized": (8.650, 42.486, 0.021, 160.593, 15.985),
+    },
+}
+
+
+def paper_table5(framework: str, kernel: str, graph: str, mode: Mode) -> float:
+    """One Table V cell: the paper's speedup-over-reference percentage."""
+    column = PAPER_GRAPH_ORDER.index(graph)
+    return PAPER_TABLE5[framework][kernel][mode.value][column]
+
+
+def paper_table4(kernel: str, graph: str, mode: Mode) -> float:
+    """One Table IV cell: the paper's fastest time in seconds."""
+    column = PAPER_GRAPH_ORDER.index(graph)
+    return PAPER_TABLE4[kernel][mode.value][column]

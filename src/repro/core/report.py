@@ -1,0 +1,93 @@
+"""Markdown report generation from campaign results.
+
+Turns a :class:`ResultSet` into the paper-shaped markdown artifacts:
+Table IV / Table V as markdown tables, the paper-vs-measured comparison,
+and the work-counter appendix.  Used to keep EXPERIMENTS.md regenerable
+from raw results JSON.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..frameworks.base import KERNELS, Mode
+from .comparison import agreement_summary, compare_table5, framework_rank_correlation
+from .results import ResultSet
+from .tables import KERNEL_LABELS, table4_rows, table5_rows
+
+__all__ = ["markdown_table", "results_to_markdown", "write_markdown_report"]
+
+
+def markdown_table(rows: list[dict[str, object]]) -> str:
+    """Render a row-dict list as a GitHub-flavored markdown table."""
+    if not rows:
+        return "(no rows)\n"
+    columns = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(str(c) for c in columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(str(row.get(c, "")) for c in columns) + " |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _work_appendix(results: ResultSet, graphs: list[str]) -> str:
+    """Machine-independent work metrics per kernel on the reference."""
+    lines = ["### Work counters (GAP reference, baseline)", ""]
+    rows = []
+    for kernel in KERNELS:
+        row: dict[str, object] = {"Kernel": KERNEL_LABELS[kernel]}
+        for graph in graphs:
+            cell = results.one("gap", kernel, graph, Mode.BASELINE)
+            if cell is None:
+                row[graph] = ""
+                continue
+            row[graph] = (
+                f"{cell.edges_examined} edges, "
+                f"{cell.rounds} rounds, {cell.iterations} iters"
+            )
+        rows.append(row)
+    lines.append(markdown_table(rows))
+    return "\n".join(lines)
+
+
+def results_to_markdown(results: ResultSet, graphs: list[str]) -> str:
+    """The full markdown report for one campaign."""
+    sections = ["# Campaign report", ""]
+
+    sections.append("## Table IV — fastest times (seconds) and winners\n")
+    sections.append(markdown_table(table4_rows(results, graphs)))
+
+    sections.append("## Table V — speedup over the GAP reference (percent)\n")
+    sections.append(markdown_table(table5_rows(results, graphs)))
+
+    comparisons = compare_table5(results)
+    if comparisons:
+        summary = agreement_summary(comparisons)
+        sections.append("## Shape agreement with the paper\n")
+        sections.append(
+            f"- direction agreement: **{summary['direction_agreement']:.1%}** "
+            f"of {summary['cells']} cells"
+        )
+        per_kernel = ", ".join(
+            f"{k.upper()} {v:.0%}" for k, v in summary["per_kernel"].items()
+        )
+        sections.append(f"- per kernel: {per_kernel}")
+        correlations = framework_rank_correlation(comparisons)
+        per_framework = ", ".join(
+            f"{k} {v:+.2f}" for k, v in correlations.items()
+        )
+        sections.append(f"- Spearman rank correlation: {per_framework}\n")
+
+    sections.append(_work_appendix(results, graphs))
+    return "\n".join(sections)
+
+
+def write_markdown_report(
+    results: ResultSet, graphs: list[str], path: str | Path
+) -> None:
+    """Write the campaign report to ``path``."""
+    Path(path).write_text(results_to_markdown(results, graphs), encoding="utf-8")

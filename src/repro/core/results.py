@@ -1,0 +1,163 @@
+"""Result records for benchmark campaigns.
+
+A campaign produces one :class:`RunResult` per (framework, kernel, graph,
+mode) cell — the unit of Tables IV and V.  Each record carries per-trial
+timings, the machine-independent work counters, and the verification
+status, so the table renderers and EXPERIMENTS.md generator need nothing
+else.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..frameworks.base import Mode
+
+__all__ = ["RunResult", "ResultSet"]
+
+
+@dataclass
+class RunResult:
+    """Measured outcome of one benchmark cell."""
+
+    framework: str
+    kernel: str
+    graph: str
+    mode: Mode
+    trial_seconds: list[float]
+    verified: bool = True
+    edges_examined: int = 0
+    rounds: int = 0
+    iterations: int = 0
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        """Average trial time — GAP's reported statistic."""
+        return statistics.fmean(self.trial_seconds)
+
+    @property
+    def best_seconds(self) -> float:
+        """Fastest trial."""
+        return min(self.trial_seconds)
+
+    @property
+    def stddev_seconds(self) -> float:
+        """Sample standard deviation across trials (0 for a single trial)."""
+        if len(self.trial_seconds) < 2:
+            return 0.0
+        return statistics.stdev(self.trial_seconds)
+
+    @property
+    def variation(self) -> float:
+        """Coefficient of variation (stddev / mean) across trials.
+
+        The paper's discussion observes that "timings for algorithms on
+        Road were more unstable compared to other cases"; this is the
+        statistic that claim is checked with.
+        """
+        mean = self.seconds
+        return self.stddev_seconds / mean if mean > 0 else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serializable form of this record."""
+        return {
+            "framework": self.framework,
+            "kernel": self.kernel,
+            "graph": self.graph,
+            "mode": self.mode.value,
+            "trial_seconds": self.trial_seconds,
+            "seconds": self.seconds,
+            "verified": self.verified,
+            "edges_examined": self.edges_examined,
+            "rounds": self.rounds,
+            "iterations": self.iterations,
+            "extras": self.extras,
+        }
+
+
+class ResultSet:
+    """A queryable collection of run results."""
+
+    def __init__(self, results: list[RunResult] | None = None) -> None:
+        self.results: list[RunResult] = list(results or [])
+
+    def add(self, result: RunResult) -> None:
+        """Append one result."""
+        self.results.append(result)
+
+    def extend(self, results: "ResultSet | list[RunResult]") -> None:
+        """Append many results (from a list or another set)."""
+        if isinstance(results, ResultSet):
+            self.results.extend(results.results)
+        else:
+            self.results.extend(results)
+
+    def lookup(
+        self,
+        framework: str | None = None,
+        kernel: str | None = None,
+        graph: str | None = None,
+        mode: Mode | None = None,
+    ) -> list[RunResult]:
+        """All results matching the given filters."""
+        out = []
+        for result in self.results:
+            if framework is not None and result.framework != framework:
+                continue
+            if kernel is not None and result.kernel != kernel:
+                continue
+            if graph is not None and result.graph != graph:
+                continue
+            if mode is not None and result.mode != mode:
+                continue
+            out.append(result)
+        return out
+
+    def one(self, framework: str, kernel: str, graph: str, mode: Mode) -> RunResult | None:
+        """The unique matching result, or None."""
+        matches = self.lookup(framework, kernel, graph, mode)
+        return matches[0] if matches else None
+
+    def frameworks(self) -> list[str]:
+        """Framework names present, in first-seen order."""
+        seen: dict[str, None] = {}
+        for result in self.results:
+            seen.setdefault(result.framework, None)
+        return list(seen)
+
+    def save_json(self, path: str | Path) -> None:
+        """Serialize all results to a JSON file."""
+        Path(path).write_text(
+            json.dumps([r.as_dict() for r in self.results], indent=2),
+            encoding="ascii",
+        )
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "ResultSet":
+        raw = json.loads(Path(path).read_text(encoding="ascii"))
+        results = [
+            RunResult(
+                framework=item["framework"],
+                kernel=item["kernel"],
+                graph=item["graph"],
+                mode=Mode(item["mode"]),
+                trial_seconds=list(item["trial_seconds"]),
+                verified=bool(item["verified"]),
+                edges_examined=int(item["edges_examined"]),
+                rounds=int(item["rounds"]),
+                iterations=int(item["iterations"]),
+                extras=dict(item["extras"]),
+            )
+            for item in raw
+        ]
+        return cls(results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)

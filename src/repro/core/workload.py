@@ -1,0 +1,127 @@
+"""Workload characterization: round-by-round traversal traces.
+
+The GAP benchmark "was designed in conjunction with a workload
+characterization" (Beamer et al., IISWC'15) whose central observation the
+paper repeats: topology drives behaviour.  This module makes that
+observable per run — it traces a BFS frontier round by round (size, edge
+volume, and the push/pull decision a direction-optimizing traversal would
+take), which is the data behind the classic direction-optimization plots.
+
+``sparkline`` renders a trace as inline ASCII for the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs import CSRGraph
+
+__all__ = ["RoundTrace", "FrontierTrace", "trace_bfs", "sparkline"]
+
+ALPHA = 15
+BETA = 18
+
+
+@dataclass(frozen=True)
+class RoundTrace:
+    """One BFS round: frontier composition and the direction verdict."""
+
+    round_index: int
+    frontier_size: int
+    frontier_edges: int
+    discovered: int
+    direction: str  # "push" | "pull"
+
+
+@dataclass(frozen=True)
+class FrontierTrace:
+    """A full traversal trace plus summary statistics."""
+
+    source: int
+    rounds: list[RoundTrace]
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of traversal rounds until the frontier emptied."""
+        return len(self.rounds)
+
+    @property
+    def peak_frontier(self) -> int:
+        """Largest frontier observed."""
+        return max((r.frontier_size for r in self.rounds), default=0)
+
+    @property
+    def pull_rounds(self) -> int:
+        """Rounds a direction-optimizing traversal would run bottom-up."""
+        return sum(1 for r in self.rounds if r.direction == "pull")
+
+    def frontier_sizes(self) -> list[int]:
+        """Frontier size per round (the classic plot's y-series)."""
+        return [r.frontier_size for r in self.rounds]
+
+
+def trace_bfs(graph: CSRGraph, source: int) -> FrontierTrace:
+    """Trace a BFS from ``source``, recording per-round frontier shape.
+
+    The traversal itself is a plain level-synchronous BFS; the *direction*
+    column records what GAP's alpha/beta heuristics would choose at each
+    round, so the trace shows where a direction-optimizing run would
+    switch without perturbing the measurement.
+    """
+    n = graph.num_vertices
+    visited = np.zeros(n, dtype=bool)
+    visited[source] = True
+    frontier = np.array([source], dtype=np.int64)
+    edges_remaining = graph.num_edges
+    rounds: list[RoundTrace] = []
+    round_index = 0
+    pulling = False
+
+    while frontier.size:
+        frontier_edges = int(graph.out_degrees[frontier].sum())
+        edges_remaining -= frontier_edges
+        if not pulling and frontier_edges > max(edges_remaining, 1) // ALPHA:
+            pulling = True
+        elif pulling and frontier.size < n // BETA:
+            pulling = False
+        starts = graph.indptr[frontier]
+        ends = graph.indptr[frontier + 1]
+        chunks = [graph.indices[s:e] for s, e in zip(starts, ends) if e > s]
+        targets = (
+            np.unique(np.concatenate(chunks)) if chunks else np.empty(0, dtype=np.int64)
+        )
+        fresh = targets[~visited[targets]]
+        visited[fresh] = True
+        rounds.append(
+            RoundTrace(
+                round_index=round_index,
+                frontier_size=int(frontier.size),
+                frontier_edges=frontier_edges,
+                discovered=int(fresh.size),
+                direction="pull" if pulling else "push",
+            )
+        )
+        frontier = fresh
+        round_index += 1
+    return FrontierTrace(source=source, rounds=rounds)
+
+
+_BARS = " .:-=+*#%@"
+
+
+def sparkline(values: list[int], width: int = 60) -> str:
+    """Render a value series as a fixed-width ASCII sparkline."""
+    if not values:
+        return ""
+    values_array = np.asarray(values, dtype=np.float64)
+    if len(values) > width:
+        # Downsample by max within buckets so peaks stay visible.
+        buckets = np.array_split(values_array, width)
+        values_array = np.array([b.max() for b in buckets])
+    top = values_array.max()
+    if top <= 0:
+        return " " * len(values_array)
+    scaled = np.ceil(values_array / top * (len(_BARS) - 1)).astype(int)
+    return "".join(_BARS[level] for level in scaled)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without also catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """A graph, edge list, or CSR structure is malformed."""
+
+
+class GraphBLASError(ReproError):
+    """Base class for errors raised by the semiring (GraphBLAS-style) engine."""
+
+
+class DimensionMismatchError(GraphBLASError):
+    """Operands of a linear-algebra operation have incompatible shapes."""
+
+
+class DomainMismatchError(GraphBLASError):
+    """Operands of a linear-algebra operation have incompatible types."""
+
+
+class InvalidValueError(GraphBLASError):
+    """An argument value is outside the accepted domain."""
+
+
+class SchedulingError(ReproError):
+    """A GraphIt-style schedule is invalid for the algorithm it is applied to."""
+
+
+class VerificationError(ReproError):
+    """A kernel produced an output that fails the GAP verification rules."""
+
+
+class BenchmarkConfigError(ReproError):
+    """The benchmark harness was configured inconsistently."""
+
+
+class UnknownFrameworkError(ReproError):
+    """A framework name was requested that is not in the registry."""
+
+
+class UnknownKernelError(ReproError):
+    """A kernel name was requested that is not part of the GAP suite."""
+
+
+class UnknownGraphError(ReproError):
+    """A graph name was requested that is not part of the GAP corpus."""

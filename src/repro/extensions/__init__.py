@@ -1,0 +1,13 @@
+"""Beyond-GAP extension kernels (LDBC Graphalytics coverage).
+
+The paper's introduction compares the GAP suite with LDBC Graphalytics,
+whose kernel set adds community detection by label propagation (CDLP) and
+local clustering coefficient (LCC) to the shared BFS/SSSP/PR/CC core.
+These extensions implement both over the same graph substrate, letting
+the harness cover the union of the two benchmarks' kernels.
+"""
+
+from .cdlp import cdlp
+from .lcc import lcc
+
+__all__ = ["cdlp", "lcc"]

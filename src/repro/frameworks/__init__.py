@@ -1,0 +1,23 @@
+"""Framework interface and registry (Tables II & III live here as metadata)."""
+
+from .base import KERNELS, Framework, FrameworkAttributes, Mode, RunContext
+from .registry import (
+    EXTENDED_FRAMEWORK_NAMES,
+    FRAMEWORK_NAMES,
+    all_frameworks,
+    attributes_table,
+    get,
+)
+
+__all__ = [
+    "KERNELS",
+    "EXTENDED_FRAMEWORK_NAMES",
+    "FRAMEWORK_NAMES",
+    "Framework",
+    "FrameworkAttributes",
+    "Mode",
+    "RunContext",
+    "all_frameworks",
+    "attributes_table",
+    "get",
+]

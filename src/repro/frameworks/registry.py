@@ -1,0 +1,127 @@
+"""Registry of the six evaluated frameworks.
+
+Frameworks are constructed lazily on first request so importing the
+registry does not pull in every substrate.  Names follow the paper:
+``gap``, ``suitesparse``, ``galois``, ``nwgraph``, ``graphit``, ``gkc``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import UnknownFrameworkError
+from .base import Framework
+
+__all__ = [
+    "EXTENDED_FRAMEWORK_NAMES",
+    "FRAMEWORK_NAMES",
+    "all_frameworks",
+    "attributes_table",
+    "get",
+]
+
+
+def _load_gap() -> Framework:
+    from ..gapbs import GAPReference
+
+    return GAPReference()
+
+
+def _load_suitesparse() -> Framework:
+    from ..lagraph import SuiteSparseFramework
+
+    return SuiteSparseFramework()
+
+
+def _load_galois() -> Framework:
+    from ..galois import GaloisFramework
+
+    return GaloisFramework()
+
+
+def _load_nwgraph() -> Framework:
+    from ..nwgraph import NWGraphFramework
+
+    return NWGraphFramework()
+
+
+def _load_graphit() -> Framework:
+    from ..graphit import GraphItFramework
+
+    return GraphItFramework()
+
+
+def _load_gkc() -> Framework:
+    from ..gkc import GKCFramework
+
+    return GKCFramework()
+
+
+def _load_ligra() -> Framework:
+    from ..ligra import LigraFramework
+
+    return LigraFramework()
+
+
+_LOADERS: dict[str, Callable[[], Framework]] = {
+    "gap": _load_gap,
+    "suitesparse": _load_suitesparse,
+    "galois": _load_galois,
+    "nwgraph": _load_nwgraph,
+    "graphit": _load_graphit,
+    "gkc": _load_gkc,
+    # Extended frameworks: usable everywhere, excluded from the paper's
+    # six-framework tables and the paper-data comparison.
+    "ligra": _load_ligra,
+}
+
+#: The paper's six frameworks, in its presentation order.
+FRAMEWORK_NAMES: tuple[str, ...] = (
+    "gap",
+    "suitesparse",
+    "galois",
+    "nwgraph",
+    "graphit",
+    "gkc",
+)
+
+#: Everything the registry can build, including post-paper extensions.
+EXTENDED_FRAMEWORK_NAMES: tuple[str, ...] = tuple(_LOADERS)
+
+_instances: dict[str, Framework] = {}
+
+
+def get(name: str) -> Framework:
+    """Return the (cached) framework instance for ``name``."""
+    key = name.lower()
+    if key not in _LOADERS:
+        raise UnknownFrameworkError(
+            f"unknown framework {name!r}; expected one of {EXTENDED_FRAMEWORK_NAMES}"
+        )
+    if key not in _instances:
+        _instances[key] = _LOADERS[key]()
+    return _instances[key]
+
+
+def all_frameworks() -> dict[str, Framework]:
+    """All six frameworks, keyed by name, in the paper's order."""
+    return {name: get(name) for name in FRAMEWORK_NAMES}
+
+
+def attributes_table() -> list[dict[str, str]]:
+    """Rows of Table II (one per framework)."""
+    rows = []
+    for name in FRAMEWORK_NAMES:
+        attrs = get(name).attributes
+        rows.append(
+            {
+                "Framework": attrs.full_name,
+                "Type": attrs.framework_type,
+                "Internal Graph Data Structure": attrs.graph_structure,
+                "Programming Abstraction": attrs.abstraction,
+                "Execution Synchronization": attrs.synchronization,
+                "Dependences": attrs.dependences,
+                "Intended Users": attrs.intended_users,
+            }
+        )
+    return rows

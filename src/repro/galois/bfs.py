@@ -1,0 +1,111 @@
+"""Galois BFS: bulk-synchronous direction-optimizing + asynchronous variant.
+
+Per Table III, Galois' BFS is direction-optimizing with an additional
+asynchronous variant.  The async variant is a label-correcting push BFS
+over a sparse chunked worklist: depth updates propagate eagerly without
+round barriers, which pays off on high-diameter graphs (the paper measures
+Galois 3.6x faster than GAP on Road) and wastes work on low-diameter ones
+(the Baseline Urand regression the paper describes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import counters
+from ..core.bitmap import Bitmap
+from ..core.nputil import expand_frontier
+from ..graphs import CSRGraph
+from ..worklist import for_each_eager
+
+__all__ = ["sync_bfs", "async_bfs"]
+
+ALPHA = 15
+BETA = 18
+
+
+def sync_bfs(graph: CSRGraph, source: int) -> np.ndarray:
+    """Bulk-synchronous direction-optimizing BFS (same algorithm as GAP)."""
+    n = graph.num_vertices
+    parents = np.full(n, -1, dtype=np.int64)
+    parents[source] = source
+    frontier = np.array([source], dtype=np.int64)
+    out_degrees = graph.out_degrees
+    edges_remaining = graph.num_edges
+
+    while frontier.size:
+        counters.add_round()
+        scout = int(out_degrees[frontier].sum())
+        edges_remaining -= scout
+        if scout > max(edges_remaining, 1) // ALPHA:
+            bits = Bitmap.from_indices(n, frontier)
+            while frontier.size and frontier.size > n // BETA:
+                counters.add_round()
+                unvisited = np.flatnonzero(parents < 0)
+                srcs, tgts = expand_frontier(graph.in_indptr, graph.in_indices, unvisited)
+                counters.add_edges(tgts.size)
+                hits = bits.contains(tgts)
+                srcs, tgts = srcs[hits], tgts[hits]
+                if srcs.size == 0:
+                    frontier = np.empty(0, dtype=np.int64)
+                    break
+                fresh, first = np.unique(srcs, return_index=True)
+                parents[fresh] = tgts[first]
+                frontier = fresh
+                bits = Bitmap.from_indices(n, frontier)
+            if frontier.size == 0:
+                break
+        srcs, tgts = expand_frontier(graph.indptr, graph.indices, frontier)
+        counters.add_edges(tgts.size)
+        unclaimed = parents[tgts] < 0
+        srcs, tgts = srcs[unclaimed], tgts[unclaimed]
+        if tgts.size == 0:
+            break
+        fresh, first = np.unique(tgts, return_index=True)
+        parents[fresh] = srcs[first]
+        frontier = fresh
+    return parents
+
+
+def async_bfs(graph: CSRGraph, source: int) -> np.ndarray:
+    """Asynchronous label-correcting BFS over a sparse chunked worklist.
+
+    A per-vertex on-worklist flag suppresses duplicate queue entries (the
+    Galois discipline); a re-improved vertex that is already queued will
+    read its freshest depth when its chunk is processed.
+    """
+    n = graph.num_vertices
+    depth = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    parents = np.full(n, -1, dtype=np.int64)
+    queued = np.zeros(n, dtype=bool)
+    depth[source] = 0
+    parents[source] = source
+    queued[source] = True
+
+    def relax(chunk: np.ndarray) -> np.ndarray:
+        queued[chunk] = False
+        srcs, tgts = expand_frontier(graph.indptr, graph.indices, chunk)
+        counters.add_edges(tgts.size)
+        if tgts.size == 0:
+            return tgts
+        candidate = depth[srcs] + 1
+        better = candidate < depth[tgts]
+        srcs, tgts, candidate = srcs[better], tgts[better], candidate[better]
+        if tgts.size == 0:
+            return tgts
+        # Per target, keep the best (then first) improving candidate.
+        order = np.lexsort((srcs, candidate, tgts))
+        tgts_sorted = tgts[order]
+        keep = np.concatenate([[True], tgts_sorted[1:] != tgts_sorted[:-1]])
+        winners = order[keep]
+        improving = candidate[winners] < depth[tgts[winners]]
+        winners = winners[improving]
+        depth[tgts[winners]] = candidate[winners]
+        parents[tgts[winners]] = srcs[winners]
+        activated = tgts[winners]
+        fresh = ~queued[activated]
+        queued[activated[fresh]] = True
+        return activated[fresh]
+
+    for_each_eager(np.array([source], dtype=np.int64), relax)
+    return parents

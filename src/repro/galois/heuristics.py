@@ -1,0 +1,35 @@
+"""Galois' run-time topology heuristics.
+
+Under Baseline rules no per-graph hand tuning is allowed, so Galois picks
+between its bulk-synchronous and asynchronous implementations with a vertex
+sampling scheme (the paper: "similar to that in GAP for TC") that tests for
+a power-law degree distribution.  Power-law is assumed to imply low
+diameter (favoring bulk-synchronous) and uniform degrees to imply high
+diameter (favoring asynchronous) — which, as the paper notes in a footnote,
+misfires on Urand: uniform degrees but low diameter, making the Baseline
+async choice a measurable mistake there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs import CSRGraph
+
+__all__ = ["sampled_power_law", "assume_high_diameter"]
+
+SAMPLE_SIZE = 1000
+SKEW_RATIO = 2.0
+
+
+def sampled_power_law(graph: CSRGraph, seed: int = 0) -> bool:
+    """Sample degrees and test for heavy skew (power-law indicator)."""
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    sample = graph.out_degrees[rng.integers(0, n, size=min(SAMPLE_SIZE, n))]
+    return float(sample.mean()) > SKEW_RATIO * max(float(np.median(sample)), 1.0)
+
+
+def assume_high_diameter(graph: CSRGraph, seed: int = 0) -> bool:
+    """Baseline assumption: not power-law => high diameter (see docstring)."""
+    return not sampled_power_law(graph, seed)

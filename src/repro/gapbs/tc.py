@@ -1,0 +1,86 @@
+"""GAP reference triangle counting: order-invariant with heuristic relabel.
+
+Each triangle is counted exactly once by orienting every undirected edge
+from the lower-ranked to the higher-ranked endpoint and intersecting
+forward-neighbor lists.  Ranking by degree (the relabel) makes the forward
+lists of high-degree vertices short, which is a huge win on skewed graphs —
+so, as in the reference code, a sampling heuristic decides whether the
+relabel is worth its cost, and when applied the relabel time **is** counted
+(a GAP benchmark rule the paper calls out).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import counters
+from ..graphs import CSRGraph, degree_order_permutation
+
+__all__ = ["ordered_count", "worth_relabelling", "forward_adjacency", "triangle_count"]
+
+RELABEL_SAMPLES = 1000
+# Degree-skew threshold: relabel when the sampled mean degree is this many
+# times the sampled median (gapbs uses the same style of sample test).
+SKEW_RATIO = 2.0
+
+
+def worth_relabelling(graph: CSRGraph, seed: int = 0) -> bool:
+    """Sampling heuristic: is the degree distribution skewed enough?"""
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    sample = graph.out_degrees[rng.integers(0, n, size=min(RELABEL_SAMPLES, n))]
+    median = float(np.median(sample))
+    mean = float(sample.mean())
+    return mean > SKEW_RATIO * max(median, 1.0)
+
+
+def forward_adjacency(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+    """CSR of edges oriented low id -> high id (each edge kept once)."""
+    src, dst = graph.edge_array()
+    keep = dst > src
+    src, dst = src[keep], dst[keep]
+    counts = np.bincount(src, minlength=graph.num_vertices)
+    indptr = np.zeros(graph.num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    # edge_array emits rows in sorted order, so dst is already row-sorted.
+    return indptr, dst
+
+
+def ordered_count(indptr: np.ndarray, indices: np.ndarray) -> int:
+    """Count triangles by intersecting forward lists (merge-based)."""
+    total = 0
+    num_vertices = indptr.size - 1
+    for u in range(num_vertices):
+        row = indices[indptr[u]: indptr[u + 1]]
+        if row.size < 2:
+            continue
+        # Gather the forward lists of all forward neighbors of u at once.
+        starts = indptr[row]
+        ends = indptr[row + 1]
+        chunks = [indices[s:e] for s, e in zip(starts, ends) if e > s]
+        if not chunks:
+            continue
+        targets = np.concatenate(chunks)
+        counters.add_edges(targets.size + row.size)
+        position = np.searchsorted(row, targets)
+        position[position == row.size] = 0
+        total += int((row[position] == targets).sum())
+    return total
+
+
+def triangle_count(graph: CSRGraph, seed: int = 0, force_relabel: bool | None = None) -> int:
+    """GAP TC kernel: optional heuristic relabel, then ordered count.
+
+    ``force_relabel`` overrides the heuristic (used by the ablation bench).
+    The input must be undirected; the framework wrapper symmetrizes.
+    """
+    relabel = worth_relabelling(graph, seed) if force_relabel is None else force_relabel
+    if relabel:
+        counters.note("relabelled")
+        # Ascending degree rank: hubs get high ids, hence short forward lists.
+        perm = degree_order_permutation(graph, ascending=True)
+        from ..graphs import permute
+
+        graph = permute(graph, perm)
+    indptr, indices = forward_adjacency(graph)
+    return ordered_count(indptr, indices)

@@ -1,0 +1,39 @@
+"""Generators for the five GAP benchmark graph analogs (Table I).
+
+Each generator reproduces one topology class from the paper's corpus:
+``road`` (high diameter, bounded degree), ``twitter`` (power-law, directed),
+``web`` (power-law with locality), ``kron`` (Graph500 Kronecker), and
+``urand`` (Erdős–Rényi).  See DESIGN.md §2 for the substitution rationale.
+"""
+
+from .registry import (
+    DEFAULT_SCALE,
+    GAP_GRAPHS,
+    GRAPH_NAMES,
+    GraphSpec,
+    build_corpus,
+    build_graph,
+    weighted_version,
+)
+from .rmat import GRAPH500_INITIATOR, rmat_edges
+from .road import road_edges
+from .twitter import TWITTER_INITIATOR, twitter_edges
+from .urand import urand_edges
+from .web import web_edges
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "GAP_GRAPHS",
+    "GRAPH_NAMES",
+    "GRAPH500_INITIATOR",
+    "GraphSpec",
+    "TWITTER_INITIATOR",
+    "build_corpus",
+    "build_graph",
+    "rmat_edges",
+    "road_edges",
+    "twitter_edges",
+    "urand_edges",
+    "web_edges",
+    "weighted_version",
+]

@@ -1,0 +1,181 @@
+"""Registry of the five GAP benchmark graphs (scaled-down analogs).
+
+Table I of the paper defines the corpus: Road, Twitter, Web, Kron, Urand —
+chosen for topological diversity.  This registry maps each name to a
+generator producing a scaled-down synthetic analog with the same topology
+*class* (directedness, degree-distribution shape, relative diameter), plus
+the paper's original statistics for side-by-side reporting.
+
+A ``GraphSpec`` also records the paper's Table I row so the Table I bench
+can print paper-vs-generated columns.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import UnknownGraphError
+from ..graphs import CSRGraph, EdgeList
+from .rmat import rmat_edges
+from .road import road_edges
+from .twitter import twitter_edges
+from .urand import urand_edges
+from .web import web_edges
+
+__all__ = [
+    "GraphSpec",
+    "GAP_GRAPHS",
+    "GRAPH_NAMES",
+    "build_graph",
+    "build_corpus",
+    "weighted_version",
+    "DEFAULT_SCALE",
+]
+
+# Default scale for the analog corpus: 2**13 = 8192 vertices keeps the full
+# 6-kernel x 5-graph x 6-framework sweep tractable in pure Python while
+# leaving every topology contrast (diameter, skew) intact.
+DEFAULT_SCALE = 13
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """One row of the benchmark corpus.
+
+    Attributes:
+        name: Corpus name (lowercase key).
+        description: Table I description.
+        directed: Whether the analog (and original) is directed.
+        edge_factor: Average degree target for the generator.
+        build_edges: Generator function ``(scale, edge_factor, rng) -> EdgeList``.
+        paper_vertices_m / paper_edges_m / paper_degree / paper_distribution /
+        paper_diameter: the original Table I statistics.
+    """
+
+    name: str
+    description: str
+    directed: bool
+    edge_factor: int
+    build_edges: Callable[[int, int, np.random.Generator], EdgeList]
+    paper_vertices_m: float
+    paper_edges_m: float
+    paper_degree: float
+    paper_distribution: str
+    paper_diameter: int
+
+    def build(self, scale: int = DEFAULT_SCALE, seed: int = 0) -> CSRGraph:
+        """Generate the analog graph at ``2**scale`` vertices.
+
+        Seeding mixes a deterministic digest of the graph name (``zlib.crc32``
+        — Python's built-in ``hash`` is process-salted and would make corpora
+        irreproducible across runs) with the caller's seed.
+        """
+        name_digest = zlib.crc32(self.name.encode("ascii")) & 0xFFFF
+        rng = np.random.default_rng(np.random.SeedSequence([name_digest, seed]))
+        edges = self.build_edges(scale, self.edge_factor, rng)
+        return CSRGraph.from_edge_list(edges, directed=self.directed)
+
+
+def _road_builder(scale: int, edge_factor: int, rng: np.random.Generator) -> EdgeList:
+    del edge_factor  # Road's degree comes from lattice structure, not a knob.
+    return road_edges(scale, rng)
+
+
+GAP_GRAPHS: dict[str, GraphSpec] = {
+    "road": GraphSpec(
+        name="road",
+        description="Roads of USA (analog: perturbed planar lattice)",
+        directed=True,
+        edge_factor=3,
+        build_edges=_road_builder,
+        paper_vertices_m=23.9,
+        paper_edges_m=57.7,
+        paper_degree=2.4,
+        paper_distribution="bounded",
+        paper_diameter=6304,
+    ),
+    "twitter": GraphSpec(
+        name="twitter",
+        description="Twitter follow links (analog: skewed directed R-MAT)",
+        directed=True,
+        edge_factor=16,
+        build_edges=twitter_edges,
+        paper_vertices_m=61.6,
+        paper_edges_m=1468.4,
+        paper_degree=23.8,
+        paper_distribution="power",
+        paper_diameter=14,
+    ),
+    "web": GraphSpec(
+        name="web",
+        description="Web crawl of .sk domain (analog: banded power-law digraph)",
+        directed=True,
+        edge_factor=32,
+        build_edges=web_edges,
+        paper_vertices_m=50.6,
+        paper_edges_m=1930.3,
+        paper_degree=38.1,
+        paper_distribution="power",
+        paper_diameter=135,
+    ),
+    "kron": GraphSpec(
+        name="kron",
+        description="Kronecker synthetic graph (Graph500 initiator)",
+        directed=False,
+        edge_factor=8,
+        build_edges=rmat_edges,
+        paper_vertices_m=134.2,
+        paper_edges_m=2111.6,
+        paper_degree=15.7,
+        paper_distribution="power",
+        paper_diameter=6,
+    ),
+    "urand": GraphSpec(
+        name="urand",
+        description="Uniform random graph (Erdos-Renyi)",
+        directed=False,
+        edge_factor=8,
+        build_edges=urand_edges,
+        paper_vertices_m=134.2,
+        paper_edges_m=2147.5,
+        paper_degree=16.0,
+        paper_distribution="normal",
+        paper_diameter=7,
+    ),
+}
+
+GRAPH_NAMES: tuple[str, ...] = tuple(GAP_GRAPHS)
+
+
+def build_graph(name: str, scale: int = DEFAULT_SCALE, seed: int = 0) -> CSRGraph:
+    """Build one corpus graph by name."""
+    try:
+        spec = GAP_GRAPHS[name.lower()]
+    except KeyError:
+        raise UnknownGraphError(
+            f"unknown graph {name!r}; expected one of {GRAPH_NAMES}"
+        ) from None
+    return spec.build(scale=scale, seed=seed)
+
+
+def build_corpus(scale: int = DEFAULT_SCALE, seed: int = 0) -> dict[str, CSRGraph]:
+    """Build the full five-graph corpus at a common scale."""
+    return {name: spec.build(scale=scale, seed=seed) for name, spec in GAP_GRAPHS.items()}
+
+
+def weighted_version(graph: CSRGraph, seed: int = 0) -> CSRGraph:
+    """Attach GAP-style uniform integer weights in [1, 255] for SSSP.
+
+    The GAP benchmark runs SSSP on weighted versions of the same graphs,
+    generating weights uniformly at random; symmetric edge pairs share one
+    weight so undirected graphs stay consistent.
+    """
+    if graph.is_weighted:
+        return graph
+    rng = np.random.default_rng(np.random.SeedSequence([0x5E55, seed]))
+    edges = graph.to_edge_list().with_uniform_weights(rng)
+    return CSRGraph.from_edge_list(edges, directed=graph.directed)

@@ -1,0 +1,83 @@
+"""Kronecker / R-MAT edge generator (Graph500 style).
+
+The GAP "Kron" input is a scale-27 Graph500 Kronecker graph with initiator
+probabilities (A, B, C, D) = (0.57, 0.19, 0.19, 0.05) and average degree 16.
+This module implements the recursive-quadrant sampling procedure (R-MAT,
+which Graph500 uses to realize Kronecker graphs) fully vectorized: every bit
+of every endpoint is drawn in one NumPy pass over all edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidValueError
+from ..graphs import EdgeList
+
+__all__ = ["rmat_edges", "GRAPH500_INITIATOR"]
+
+# Graph500 initiator matrix probabilities: quadrants (0,0), (0,1), (1,0), (1,1).
+GRAPH500_INITIATOR: tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05)
+
+
+def rmat_edges(
+    scale: int,
+    edge_factor: int,
+    rng: np.random.Generator,
+    initiator: tuple[float, float, float, float] = GRAPH500_INITIATOR,
+    noise: float = 0.1,
+) -> EdgeList:
+    """Sample ``edge_factor * 2**scale`` R-MAT edges over ``2**scale`` vertices.
+
+    Args:
+        scale: log2 of the vertex count.
+        edge_factor: average undirected degree (edges sampled = n * factor).
+        rng: NumPy random generator (determinism is the caller's business).
+        initiator: quadrant probabilities (a, b, c, d); must sum to 1.
+        noise: per-level multiplicative jitter ("smooth Kronecker"), which
+            Graph500 uses to avoid exact self-similarity artifacts.
+
+    Returns:
+        An :class:`EdgeList` possibly containing duplicates and self-loops;
+        CSR construction removes both (as the real frameworks do).
+    """
+    a, b, c, d = initiator
+    total = a + b + c + d
+    if abs(total - 1.0) > 1e-9:
+        raise InvalidValueError(f"initiator must sum to 1, got {total}")
+    if scale < 0 or edge_factor <= 0:
+        raise InvalidValueError("scale must be >= 0 and edge_factor positive")
+
+    num_edges = edge_factor << scale
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    for level in range(scale):
+        a_l, b_l, c_l, d_l = _jitter_initiator((a, b, c, d), rng, noise)
+        draw = rng.random(num_edges)
+        # Quadrant decision: row bit set when the draw lands in (c + d),
+        # column bit conditional on the row bit.
+        row_bit = draw >= (a_l + b_l)
+        col_threshold = np.where(row_bit, c_l / (c_l + d_l), a_l / (a_l + b_l))
+        col_draw = rng.random(num_edges)
+        col_bit = col_draw >= col_threshold
+        src |= row_bit.astype(np.int64) << level
+        dst |= col_bit.astype(np.int64) << level
+
+    # Permute vertex labels so ids do not encode degree (Graph500 requires
+    # this shuffle; without it, low ids would be the high-degree vertices).
+    perm = rng.permutation(1 << scale)
+    return EdgeList(1 << scale, perm[src], perm[dst])
+
+
+def _jitter_initiator(
+    initiator: tuple[float, float, float, float],
+    rng: np.random.Generator,
+    noise: float,
+) -> tuple[float, float, float, float]:
+    """Multiplicatively jitter the initiator and renormalize."""
+    if noise <= 0.0:
+        return initiator
+    factors = 1.0 + noise * (2.0 * rng.random(4) - 1.0)
+    values = np.asarray(initiator) * factors
+    values /= values.sum()
+    return tuple(float(v) for v in values)  # type: ignore[return-value]

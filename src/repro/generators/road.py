@@ -1,0 +1,80 @@
+"""Road-network analog generator — the GAP "Road" substitute.
+
+GAP's Road input is the USA road network: directed, bounded degree
+(average 2.4), and an enormous diameter (6,304 hops at 24 M vertices).  Its
+role in the study is to stress per-iteration overheads: frontier-based
+kernels need thousands of tiny rounds, so frameworks with heavy round setup
+costs collapse on it, while asynchronous execution (Galois) shines.
+
+We reproduce that topology class with a perturbed rectangular lattice:
+
+* vertices form a ``height x width`` grid (planar, like a road map);
+* each lattice edge survives with probability ``keep_probability`` (drops
+  the average degree below 4, toward Road's 2.4);
+* most surviving edges are two-way streets (both directions present), a
+  small fraction are one-way, making the graph *directed* like Road;
+* a sprinkle of short "diagonal" connectors keeps the giant component large
+  without shrinking the Θ(width + height) diameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidValueError
+from ..graphs import EdgeList
+
+__all__ = ["road_edges"]
+
+
+def road_edges(
+    scale: int,
+    rng: np.random.Generator,
+    keep_probability: float = 0.72,
+    one_way_fraction: float = 0.12,
+    connector_fraction: float = 0.02,
+) -> EdgeList:
+    """Generate a road-like directed edge list over ``~2**scale`` vertices.
+
+    The grid is made wide (aspect ratio 4:1) so the diameter is dominated by
+    the long axis, exaggerating the many-round behaviour that makes Road the
+    hardest input in the paper.
+    """
+    if scale < 2:
+        raise InvalidValueError("road generator needs scale >= 2")
+    if not 0.0 < keep_probability <= 1.0:
+        raise InvalidValueError("keep_probability must be in (0, 1]")
+    n = 1 << scale
+    height = max(2, int(np.sqrt(n / 4)))
+    width = n // height
+    n = height * width
+
+    grid = np.arange(n, dtype=np.int64).reshape(height, width)
+    horizontal_src = grid[:, :-1].ravel()
+    horizontal_dst = grid[:, 1:].ravel()
+    vertical_src = grid[:-1, :].ravel()
+    vertical_dst = grid[1:, :].ravel()
+    src = np.concatenate([horizontal_src, vertical_src])
+    dst = np.concatenate([horizontal_dst, vertical_dst])
+
+    keep = rng.random(src.size) < keep_probability
+    src, dst = src[keep], dst[keep]
+
+    # Short diagonal connectors: join (r, c) to (r+1, c+1) for a few cells.
+    num_connectors = int(connector_fraction * n)
+    if num_connectors and height > 1 and width > 1:
+        rows = rng.integers(0, height - 1, size=num_connectors)
+        cols = rng.integers(0, width - 1, size=num_connectors)
+        src = np.concatenate([src, grid[rows, cols]])
+        dst = np.concatenate([dst, grid[rows + 1, cols + 1]])
+
+    # Two-way streets by default; a fraction stay one-way (random direction).
+    one_way = rng.random(src.size) < one_way_fraction
+    flip = rng.random(src.size) < 0.5
+    forward_src = np.where(one_way & flip, dst, src)
+    forward_dst = np.where(one_way & flip, src, dst)
+    back_src = forward_dst[~one_way]
+    back_dst = forward_src[~one_way]
+    all_src = np.concatenate([forward_src, back_src])
+    all_dst = np.concatenate([forward_dst, back_dst])
+    return EdgeList(n, all_src, all_dst)

@@ -1,0 +1,37 @@
+"""Social-network analog generator — the GAP "Twitter" substitute.
+
+GAP's Twitter input is the 2010 follow graph: directed, power-law in- and
+out-degrees, average degree 23.8, diameter 14.  Its role in the study is the
+classic scale-free regime: a tiny diameter (few frontier rounds) but extreme
+degree skew (celebrity vertices), stressing load balancing and the pull
+phase of direction-optimizing traversals.
+
+We realize it as a *directed* R-MAT graph with a more skewed initiator than
+Graph500's (pushing more probability mass into the hub quadrant raises the
+degree skew, mimicking follower celebrities), without symmetrization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs import EdgeList
+from .rmat import rmat_edges
+
+__all__ = ["twitter_edges", "TWITTER_INITIATOR"]
+
+# More skew than Graph500 — celebrity accounts concentrate in-links.
+TWITTER_INITIATOR: tuple[float, float, float, float] = (0.62, 0.18, 0.15, 0.05)
+
+
+def twitter_edges(
+    scale: int,
+    edge_factor: int,
+    rng: np.random.Generator,
+) -> EdgeList:
+    """Generate a Twitter-like directed power-law edge list."""
+    edges = rmat_edges(scale, edge_factor, rng, initiator=TWITTER_INITIATOR)
+    # Follow links are asymmetric; drop an arbitrary slice of reciprocal
+    # pairs so the graph is not accidentally near-symmetric.
+    keep = rng.random(edges.num_edges) < 0.95
+    return EdgeList(edges.num_vertices, edges.src[keep], edges.dst[keep])

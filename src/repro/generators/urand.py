@@ -1,0 +1,32 @@
+"""Uniform random (Erdős–Rényi) graph generator — the GAP "Urand" analog.
+
+GAP's Urand is an Erdős–Rényi G(n, m) graph with n = 2**27 and average
+degree 16: every edge endpoint is drawn uniformly.  Its degree distribution
+is binomial ("normal" in Table I) and its diameter is tiny, which is exactly
+the regime where sampling-based connected-components algorithms (Afforest)
+lose their advantage — an effect the paper reproduces from Sutton et al.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidValueError
+from ..graphs import EdgeList
+
+__all__ = ["urand_edges"]
+
+
+def urand_edges(scale: int, edge_factor: int, rng: np.random.Generator) -> EdgeList:
+    """Sample ``edge_factor * 2**scale`` uniform edges over ``2**scale`` vertices.
+
+    Endpoints are i.i.d. uniform, as in the GAP generator; duplicates and
+    self-loops are possible and removed later at CSR construction.
+    """
+    if scale < 0 or edge_factor <= 0:
+        raise InvalidValueError("scale must be >= 0 and edge_factor positive")
+    n = 1 << scale
+    num_edges = edge_factor << scale
+    src = rng.integers(0, n, size=num_edges, dtype=np.int64)
+    dst = rng.integers(0, n, size=num_edges, dtype=np.int64)
+    return EdgeList(n, src, dst)

@@ -1,0 +1,62 @@
+"""GKC's thread-local output buffers.
+
+GKC reduces false sharing by having each thread accumulate intermediate
+outputs (e.g. the next BFS frontier) in a private buffer sized to L1/L2
+cache, flushing to the global buffer with specialized (inline-assembly)
+kernels.  The Python analog: a fixed-capacity accumulator that collects
+result chunks and concatenates on flush, so the frameworks' kernels retain
+the same produce-into-buffer / flush-at-capacity structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import counters
+
+__all__ = ["LocalBuffer"]
+
+# "L2-sized" default: 2**15 int64 entries = 256 KiB.
+DEFAULT_CAPACITY = 1 << 15
+
+
+class LocalBuffer:
+    """Fixed-capacity accumulator of vertex-id chunks."""
+
+    __slots__ = ("capacity", "_chunks", "_size", "_flushed")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = int(capacity)
+        self._chunks: list[np.ndarray] = []
+        self._size = 0
+        self._flushed: list[np.ndarray] = []
+
+    def push(self, vertices: np.ndarray) -> None:
+        """Append ids, flushing to the global region at capacity."""
+        if vertices.size == 0:
+            return
+        self._chunks.append(vertices)
+        self._size += int(vertices.size)
+        if self._size >= self.capacity:
+            self.flush()
+
+    def flush(self) -> None:
+        """Move buffered ids to the global region (the counted operation)."""
+        if not self._chunks:
+            return
+        counters.note("buffer_flushes")
+        self._flushed.append(np.concatenate(self._chunks))
+        self._chunks.clear()
+        self._size = 0
+
+    def drain(self) -> np.ndarray:
+        """Flush and return everything accumulated so far."""
+        self.flush()
+        if not self._flushed:
+            return np.empty(0, dtype=np.int64)
+        merged = np.concatenate(self._flushed)
+        self._flushed.clear()
+        return merged
+
+    def __len__(self) -> int:
+        return self._size + sum(chunk.size for chunk in self._flushed)

@@ -1,0 +1,54 @@
+"""GKC PageRank: Gauss-Seidel sweeps with cache-sized blocks.
+
+Per Table III GKC runs a Gauss-Seidel SpMV.  The blocks here are sized to
+the local-buffer discipline of the library (many small blocks, each
+"fitting in cache"), so fresh scores propagate across blocks within one
+sweep and the iteration count drops below Jacobi's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import counters
+from ..graphs import CSRGraph
+
+__all__ = ["gkc_pagerank"]
+
+# Cache-resident block size: the working-set discipline of GKC.
+BLOCK_VERTICES = 1024
+
+
+def gkc_pagerank(
+    graph: CSRGraph,
+    damping: float = 0.85,
+    tolerance: float = 1e-4,
+    max_iterations: int = 100,
+    block_vertices: int = BLOCK_VERTICES,
+) -> np.ndarray:
+    """Blocked Gauss-Seidel PageRank; returns converged scores."""
+    n = graph.num_vertices
+    base = (1.0 - damping) / n
+    scores = np.full(n, 1.0 / n, dtype=np.float64)
+    out_degrees = graph.out_degrees.astype(np.float64)
+    has_out = out_degrees > 0
+    safe_degrees = np.where(has_out, out_degrees, 1.0)
+
+    starts = list(range(0, n, block_vertices))
+    for _ in range(max_iterations):
+        counters.add_iteration()
+        counters.add_edges(graph.num_edges)
+        previous = scores.copy()
+        for lo in starts:
+            hi = min(lo + block_vertices, n)
+            gathered = graph.in_indices[graph.in_indptr[lo]: graph.in_indptr[hi]]
+            contrib = np.where(
+                has_out[gathered], scores[gathered] / safe_degrees[gathered], 0.0
+            )
+            prefix = np.concatenate([[0.0], np.cumsum(contrib)])
+            offsets = graph.in_indptr[lo: hi + 1] - graph.in_indptr[lo]
+            scores[lo:hi] = base + damping * (prefix[offsets[1:]] - prefix[offsets[:-1]])
+        change = float(np.abs(scores - previous).sum())
+        if change < tolerance:
+            break
+    return scores

@@ -1,0 +1,82 @@
+"""GraphIt betweenness centrality: Brandes with schedulable frontiers.
+
+Two schedule-visible choices from the paper: GraphIt represents the
+frontier as a *bitvector* (good when frontiers are dense — BC's frontiers
+are, on the low-diameter graphs where GraphIt's BC beat GAP by >2x), and it
+*transposes the graph for the backward pass* — the dependency accumulation
+walks in-edges of each level, which wins on large graphs but costs extra on
+small ones like Road.  The Optimized Road schedule swaps the bitvector for
+a sparse frontier, the modest speedup the paper records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import counters
+from ..graphitc import Schedule, VertexSet, edgeset_apply_from
+from ..graphs import CSRGraph
+
+__all__ = ["graphit_bc"]
+
+
+def graphit_bc(graph: CSRGraph, sources: np.ndarray, schedule: Schedule) -> np.ndarray:
+    """Brandes BC from the given roots under the given schedule."""
+    n = graph.num_vertices
+    scores = np.zeros(n, dtype=np.float64)
+    transpose = graph.transpose()  # backward pass runs on the transpose
+
+    for source in np.asarray(sources, dtype=np.int64):
+        depth = np.full(n, -1, dtype=np.int64)
+        sigma = np.zeros(n, dtype=np.float64)
+        depth[source] = 0
+        sigma[source] = 1.0
+        level = 0
+        levels: list[np.ndarray] = [np.array([source], dtype=np.int64)]
+
+        def count_paths(srcs: np.ndarray, dsts: np.ndarray, weights: np.ndarray) -> np.ndarray:
+            del weights
+            np.add.at(sigma, dsts, sigma[srcs])
+            fresh, first = np.unique(dsts, return_index=True)
+            del fresh
+            modified = np.zeros(dsts.size, dtype=bool)
+            modified[first] = True
+            return modified
+
+        frontier = VertexSet.from_ids(n, levels[0], schedule.frontier)
+        while frontier:
+            counters.add_round()
+            frontier = edgeset_apply_from(
+                graph, frontier, count_paths, schedule, to_filter=depth < 0
+            )
+            level += 1
+            members = frontier.ids()
+            if members.size:
+                depth[members] = level
+                levels.append(members)
+
+        delta = np.zeros(n, dtype=np.float64)
+        for level_index in range(len(levels) - 1, 0, -1):
+            counters.add_round()
+            members = levels[level_index]
+
+            def push_dependency(
+                srcs: np.ndarray, dsts: np.ndarray, weights: np.ndarray
+            ) -> np.ndarray:
+                # Running on the transpose: srcs are level-d vertices, dsts
+                # their in-neighbors in the original graph.
+                del weights
+                predecessor = depth[dsts] == depth[srcs] - 1
+                np.add.at(
+                    delta,
+                    dsts[predecessor],
+                    (sigma[dsts[predecessor]] / sigma[srcs[predecessor]])
+                    * (1.0 + delta[srcs[predecessor]]),
+                )
+                return np.zeros(dsts.size, dtype=bool)
+
+            level_set = VertexSet.from_ids(n, members, schedule.frontier)
+            edgeset_apply_from(transpose, level_set, push_dependency, schedule)
+        delta[source] = 0.0
+        scores += delta
+    return scores

@@ -1,0 +1,83 @@
+"""GraphIt's bucketing-based priority queue with bucket fusion (CGO'20).
+
+Ordered algorithms (delta-stepping SSSP) process work in priority buckets.
+The bucket-fusion optimization the paper spotlights: when a thread sees the
+*next* refill of the current bucket has the same priority, it processes it
+immediately in a local loop instead of synchronizing — cutting rounds by
+~10x on Road while maintaining strict priority order.  A size threshold
+guards against load imbalance; refills above it still synchronize.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import counters
+
+__all__ = ["BucketPriorityQueue"]
+
+FUSION_THRESHOLD = 1024
+
+
+class BucketPriorityQueue:
+    """Priority buckets over integer priorities with optional fusion."""
+
+    def __init__(self, fusion: bool = True, fusion_threshold: int = FUSION_THRESHOLD) -> None:
+        self.fusion = bool(fusion)
+        self.fusion_threshold = int(fusion_threshold)
+        self._buckets: dict[int, list[np.ndarray]] = {}
+
+    def push(self, vertices: np.ndarray, priorities: np.ndarray) -> None:
+        """Insert vertices under their integer priorities."""
+        for priority in np.unique(priorities):
+            self._buckets.setdefault(int(priority), []).append(
+                vertices[priorities == priority]
+            )
+
+    def empty(self) -> bool:
+        """Whether no buckets remain."""
+        return not self._buckets
+
+    def pop_lowest(self) -> tuple[int, np.ndarray]:
+        """Remove and return the entire lowest-priority bucket."""
+        lowest = min(self._buckets)
+        chunks = self._buckets.pop(lowest)
+        return lowest, np.unique(np.concatenate(chunks))
+
+    def process(self, relax, dist: np.ndarray, delta: int) -> None:
+        """Drain the queue in priority order.
+
+        ``relax(members)`` relaxes a batch and returns the vertices whose
+        distance improved; re-bucketing uses ``dist`` and ``delta``.  With
+        fusion enabled, same-priority refills below the threshold are
+        processed in the local loop (counted as ``fused_rounds``); without
+        it every refill costs a synchronization round.
+        """
+        while not self.empty():
+            priority, members = self.pop_lowest()
+            # Lazy deletion: drop entries re-bucketed elsewhere.
+            members = members[(dist[members] // delta).astype(np.int64) == priority]
+            while members.size:
+                counters.add_round()
+                refills = self._relax_and_rebucket(relax, members, dist, delta, priority)
+                if self.fusion:
+                    while 0 < refills.size <= self.fusion_threshold:
+                        counters.note("fused_rounds")
+                        refills = self._relax_and_rebucket(
+                            relax, refills, dist, delta, priority
+                        )
+                members = refills
+
+    def _relax_and_rebucket(
+        self, relax, members: np.ndarray, dist: np.ndarray, delta: int, priority: int
+    ) -> np.ndarray:
+        """One relaxation; returns same-priority refills, pushes the rest."""
+        improved = relax(members)
+        if improved.size == 0:
+            return improved
+        landing = (dist[improved] // delta).astype(np.int64)
+        same = landing == priority
+        others = improved[~same]
+        if others.size:
+            self.push(others, landing[~same])
+        return improved[same]

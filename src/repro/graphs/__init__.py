@@ -1,0 +1,57 @@
+"""Graph substrate: CSR graphs, edge lists, transforms, and analysis.
+
+This package plays the role of the shared graph-loading layer that every
+framework in the paper builds on: a general-purpose CSR format storing both
+edge directions, with deduplicated, destination-sorted adjacency.
+"""
+
+from .csr import CSRGraph
+from .edgelist import EdgeList
+from .io import load_npz, read_edge_list, save_npz, write_edge_list
+from .properties import (
+    GraphProperties,
+    analyze,
+    approximate_diameter,
+    classify_degree_distribution,
+    undirected_bfs_depths,
+)
+from .statistics import (
+    TopologySummary,
+    assortativity,
+    degree_histogram,
+    global_clustering,
+    reciprocity,
+    summarize,
+)
+from .transforms import (
+    degree_order_permutation,
+    induced_subgraph,
+    lower_triangle_counts,
+    permute,
+    relabel_by_degree,
+)
+
+__all__ = [
+    "CSRGraph",
+    "EdgeList",
+    "GraphProperties",
+    "TopologySummary",
+    "assortativity",
+    "degree_histogram",
+    "global_clustering",
+    "reciprocity",
+    "summarize",
+    "analyze",
+    "approximate_diameter",
+    "classify_degree_distribution",
+    "undirected_bfs_depths",
+    "degree_order_permutation",
+    "induced_subgraph",
+    "lower_triangle_counts",
+    "permute",
+    "relabel_by_degree",
+    "load_npz",
+    "read_edge_list",
+    "save_npz",
+    "write_edge_list",
+]

@@ -1,0 +1,292 @@
+"""Compressed sparse row graph type shared by every framework in the study.
+
+Per the GAP benchmark rules, all kernels of a framework must operate on the
+same general-purpose graph format; this CSR type plays that role.  As in the
+GAP reference code, a directed graph stores *both* the out-adjacency and the
+in-adjacency (the transpose), because transposition is excluded from kernel
+timing.  Undirected graphs store each edge in both orientations and the
+in-adjacency aliases the out-adjacency.
+
+Adjacency lists are sorted by destination and duplicate edges are removed at
+construction, which the paper notes every evaluated framework does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .edgelist import EdgeList
+
+__all__ = ["CSRGraph"]
+
+
+def _compress(
+    num_vertices: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Sort edges by (src, dst) and build (indptr, indices, weights)."""
+    order = np.lexsort((dst, src))
+    src = src[order]
+    dst = dst[order]
+    if weights is not None:
+        weights = np.ascontiguousarray(weights[order])
+    counts = np.bincount(src, minlength=num_vertices)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, np.ascontiguousarray(dst, dtype=np.int64), weights
+
+
+class CSRGraph:
+    """An immutable graph in CSR form with both edge directions available.
+
+    Attributes:
+        num_vertices: Vertex count ``n``; vertices are ``0 .. n-1``.
+        directed: Whether the graph is directed.  Undirected graphs store
+            each edge in both orientations.
+        indptr / indices / weights: Out-adjacency CSR arrays.
+        in_indptr / in_indices / in_weights: In-adjacency CSR arrays (alias
+            the out arrays when the graph is undirected).
+    """
+
+    __slots__ = (
+        "num_vertices",
+        "directed",
+        "indptr",
+        "indices",
+        "weights",
+        "in_indptr",
+        "in_indices",
+        "in_weights",
+        "_out_degrees",
+        "_in_degrees",
+    )
+
+    def __init__(
+        self,
+        num_vertices: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray | None,
+        in_indptr: np.ndarray,
+        in_indices: np.ndarray,
+        in_weights: np.ndarray | None,
+        directed: bool,
+    ) -> None:
+        if indptr.shape != (num_vertices + 1,):
+            raise GraphFormatError("indptr must have length num_vertices + 1")
+        if in_indptr.shape != (num_vertices + 1,):
+            raise GraphFormatError("in_indptr must have length num_vertices + 1")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise GraphFormatError("indptr does not span indices")
+        if in_indptr[0] != 0 or in_indptr[-1] != in_indices.size:
+            raise GraphFormatError("in_indptr does not span in_indices")
+        self.num_vertices = int(num_vertices)
+        self.directed = bool(directed)
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.in_indptr = in_indptr
+        self.in_indices = in_indices
+        self.in_weights = in_weights
+        self._out_degrees: np.ndarray | None = None
+        self._in_degrees: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edge_list(cls, edges: EdgeList, directed: bool = True) -> "CSRGraph":
+        """Build a CSR graph from an edge list.
+
+        Self-loops and duplicate edges are removed (the shared preprocessing
+        stage the paper describes).  For undirected graphs the edge list is
+        symmetrized first, so each input edge is reachable both ways.
+        """
+        clean = edges.without_self_loops()
+        clean = clean.symmetrized() if not directed else clean.deduplicated()
+        n = clean.num_vertices
+        indptr, indices, weights = _compress(n, clean.src, clean.dst, clean.weights)
+        if directed:
+            in_indptr, in_indices, in_weights = _compress(
+                n, clean.dst, clean.src, clean.weights
+            )
+        else:
+            in_indptr, in_indices, in_weights = indptr, indices, weights
+        return cls(
+            n, indptr, indices, weights, in_indptr, in_indices, in_weights, directed
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        num_vertices: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weights: np.ndarray | None = None,
+        directed: bool = True,
+    ) -> "CSRGraph":
+        """Convenience constructor from raw endpoint arrays."""
+        return cls.from_edge_list(
+            EdgeList(num_vertices, np.asarray(src), np.asarray(dst), weights),
+            directed=directed,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        """Number of stored directed edges (undirected edges count twice)."""
+        return int(self.indices.size)
+
+    @property
+    def num_undirected_edges(self) -> int:
+        """Number of undirected edges when the graph is undirected."""
+        if self.directed:
+            raise GraphFormatError("graph is directed")
+        return self.num_edges // 2
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weights is not None
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex (cached)."""
+        if self._out_degrees is None:
+            self._out_degrees = np.diff(self.indptr)
+        return self._out_degrees
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every vertex (cached)."""
+        if self._in_degrees is None:
+            self._in_degrees = np.diff(self.in_indptr)
+        return self._in_degrees
+
+    def out_degree(self, v: int) -> int:
+        """Out-degree of one vertex."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def in_degree(self, v: int) -> int:
+        """In-degree of one vertex."""
+        return int(self.in_indptr[v + 1] - self.in_indptr[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbors of ``v`` (sorted, no duplicates)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """In-neighbors of ``v`` (sorted, no duplicates)."""
+        return self.in_indices[self.in_indptr[v] : self.in_indptr[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Weights aligned with ``neighbors(v)``."""
+        if self.weights is None:
+            raise GraphFormatError("graph is unweighted")
+        return self.weights[self.indptr[v] : self.indptr[v + 1]]
+
+    def in_neighbor_weights(self, v: int) -> np.ndarray:
+        """Weights aligned with ``in_neighbors(v)``."""
+        if self.in_weights is None:
+            raise GraphFormatError("graph is unweighted")
+        return self.in_weights[self.in_indptr[v] : self.in_indptr[v + 1]]
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate over vertex ids."""
+        return iter(range(self.num_vertices))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over stored directed edges as ``(u, v)`` pairs."""
+        for u in range(self.num_vertices):
+            for v in self.neighbors(u):
+                yield u, int(v)
+
+    def edge_array(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (src, dst) arrays of all stored directed edges."""
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.out_degrees)
+        return src, self.indices.copy()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Membership test via binary search in the sorted adjacency row."""
+        row = self.neighbors(u)
+        pos = np.searchsorted(row, v)
+        return bool(pos < row.size and row[pos] == v)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+
+    def transpose(self) -> "CSRGraph":
+        """Return the transposed graph (a cheap view swap, as in GAP).
+
+        GAP stores both directions so transposition is free and is excluded
+        from kernel timing; we mirror that by swapping array references.
+        """
+        if not self.directed:
+            return self
+        return CSRGraph(
+            self.num_vertices,
+            self.in_indptr,
+            self.in_indices,
+            self.in_weights,
+            self.indptr,
+            self.indices,
+            self.weights,
+            directed=True,
+        )
+
+    def to_undirected(self) -> "CSRGraph":
+        """Return the undirected version of this graph (symmetrized edges)."""
+        if not self.directed:
+            return self
+        src, dst = self.edge_array()
+        return CSRGraph.from_edge_list(
+            EdgeList(self.num_vertices, src, dst, self.weights),
+            directed=False,
+        )
+
+    def to_edge_list(self) -> EdgeList:
+        """Export the stored directed edges back to an edge list."""
+        src, dst = self.edge_array()
+        weights = None if self.weights is None else self.weights.copy()
+        return EdgeList(self.num_vertices, src, dst, weights)
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "directed" if self.directed else "undirected"
+        w = "weighted" if self.is_weighted else "unweighted"
+        return (
+            f"CSRGraph({kind}, {w}, n={self.num_vertices}, "
+            f"m={self.num_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        same_structure = (
+            self.num_vertices == other.num_vertices
+            and self.directed == other.directed
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+        if not same_structure:
+            return False
+        if (self.weights is None) != (other.weights is None):
+            return False
+        if self.weights is not None and not np.array_equal(self.weights, other.weights):
+            return False
+        return True
+
+    def __hash__(self) -> int:
+        return id(self)

@@ -1,0 +1,155 @@
+"""Edge-list representation used as the interchange format for graph builders.
+
+The GAP benchmark reference code reads graphs as flat edge lists and then
+compresses them to CSR.  This module mirrors that stage: an
+:class:`EdgeList` is a struct-of-arrays triple ``(src, dst, weights)`` with
+helpers for deduplication, symmetrization, self-loop removal, and relabeling.
+All operations are vectorized NumPy and return new objects (edge lists are
+immutable by convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import GraphFormatError
+
+__all__ = ["EdgeList"]
+
+
+@dataclass(frozen=True)
+class EdgeList:
+    """A list of directed edges over vertices ``0 .. num_vertices-1``.
+
+    Attributes:
+        num_vertices: Number of vertices in the graph (may exceed the largest
+            endpoint; isolated vertices are permitted, as in GAP graphs).
+        src: int64 array of source endpoints.
+        dst: int64 array of destination endpoints.
+        weights: Optional array of per-edge weights (parallel to ``src``).
+    """
+
+    num_vertices: int
+    src: np.ndarray
+    dst: np.ndarray
+    weights: np.ndarray | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        src = np.ascontiguousarray(self.src, dtype=np.int64)
+        dst = np.ascontiguousarray(self.dst, dtype=np.int64)
+        object.__setattr__(self, "src", src)
+        object.__setattr__(self, "dst", dst)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise GraphFormatError(
+                f"src/dst must be 1-D arrays of equal length, got "
+                f"{src.shape} and {dst.shape}"
+            )
+        if self.weights is not None:
+            weights = np.ascontiguousarray(self.weights)
+            object.__setattr__(self, "weights", weights)
+            if weights.shape != src.shape:
+                raise GraphFormatError(
+                    f"weights length {weights.shape} != edge count {src.shape}"
+                )
+        if self.num_vertices < 0:
+            raise GraphFormatError("num_vertices must be non-negative")
+        if src.size:
+            endpoints_max = max(int(src.max()), int(dst.max()))
+            endpoints_min = min(int(src.min()), int(dst.min()))
+            if endpoints_min < 0:
+                raise GraphFormatError("negative vertex id in edge list")
+            if endpoints_max >= self.num_vertices:
+                raise GraphFormatError(
+                    f"vertex id {endpoints_max} out of range for "
+                    f"num_vertices={self.num_vertices}"
+                )
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges stored."""
+        return int(self.src.size)
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weights is not None
+
+    def copy_with(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weights: np.ndarray | None,
+    ) -> "EdgeList":
+        """Return a new edge list over the same vertex set."""
+        return EdgeList(self.num_vertices, src, dst, weights)
+
+    def without_self_loops(self) -> "EdgeList":
+        """Drop edges whose endpoints coincide."""
+        keep = self.src != self.dst
+        weights = self.weights[keep] if self.weights is not None else None
+        return self.copy_with(self.src[keep], self.dst[keep], weights)
+
+    def deduplicated(self) -> "EdgeList":
+        """Remove duplicate ``(src, dst)`` pairs, keeping the first weight.
+
+        The GAP rules require frameworks to remove duplicate edges when
+        building the graph; all our frameworks share this stage.
+        """
+        if self.num_edges == 0:
+            return self
+        order = np.lexsort((self.dst, self.src))
+        src = self.src[order]
+        dst = self.dst[order]
+        first = np.empty(src.size, dtype=bool)
+        first[0] = True
+        np.not_equal(src[1:], src[:-1], out=first[1:])
+        first[1:] |= dst[1:] != dst[:-1]
+        weights = None
+        if self.weights is not None:
+            weights = self.weights[order][first]
+        return self.copy_with(src[first], dst[first], weights)
+
+    def symmetrized(self) -> "EdgeList":
+        """Return the union of this edge list and its reverse, deduplicated.
+
+        Used to build undirected graphs: each undirected edge appears in both
+        orientations exactly once.
+        """
+        src = np.concatenate([self.src, self.dst])
+        dst = np.concatenate([self.dst, self.src])
+        weights = None
+        if self.weights is not None:
+            weights = np.concatenate([self.weights, self.weights])
+        return self.copy_with(src, dst, weights).deduplicated()
+
+    def reversed(self) -> "EdgeList":
+        """Return the edge list with every edge direction flipped."""
+        return self.copy_with(self.dst.copy(), self.src.copy(), None if self.weights is None else self.weights.copy())
+
+    def relabeled(self, perm: np.ndarray) -> "EdgeList":
+        """Apply a vertex permutation: new id of vertex ``v`` is ``perm[v]``."""
+        perm = np.asarray(perm, dtype=np.int64)
+        if perm.shape != (self.num_vertices,):
+            raise GraphFormatError(
+                f"permutation length {perm.shape} != num_vertices "
+                f"{self.num_vertices}"
+            )
+        if not np.array_equal(np.sort(perm), np.arange(self.num_vertices)):
+            raise GraphFormatError("perm is not a permutation of 0..n-1")
+        return self.copy_with(perm[self.src], perm[self.dst], self.weights)
+
+    def with_uniform_weights(self, rng: np.random.Generator, low: int = 1, high: int = 255) -> "EdgeList":
+        """Attach integer weights drawn uniformly from ``[low, high]``.
+
+        Mirrors the GAP benchmark, which assigns uniform random integer
+        weights in [1, 255] to unweighted input graphs before running SSSP.
+        Symmetric edge pairs (u, v) and (v, u) receive identical weights so
+        undirected graphs stay consistent, matching the GAP generator.
+        """
+        lo = np.minimum(self.src, self.dst)
+        hi = np.maximum(self.src, self.dst)
+        canonical = lo * np.int64(self.num_vertices) + hi
+        unique, inverse = np.unique(canonical, return_inverse=True)
+        per_pair = rng.integers(low, high + 1, size=unique.size, dtype=np.int64)
+        return self.copy_with(self.src, self.dst, per_pair[inverse])

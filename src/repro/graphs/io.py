@@ -1,0 +1,123 @@
+"""Serialization for graphs: GAP-style text edge lists and binary .npz.
+
+The GAP reference code reads ``.el`` (unweighted) and ``.wel`` (weighted)
+text edge lists and caches a binary serialized graph.  We provide the same
+two tiers so examples can persist generated corpora between runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .csr import CSRGraph
+from .edgelist import EdgeList
+
+__all__ = ["write_edge_list", "read_edge_list", "save_npz", "load_npz"]
+
+
+def write_edge_list(graph: CSRGraph, path: str | Path) -> None:
+    """Write the graph's directed edges as whitespace-separated lines.
+
+    Weighted graphs produce ``src dst weight`` lines (GAP ``.wel``);
+    unweighted graphs produce ``src dst`` lines (GAP ``.el``).
+    """
+    path = Path(path)
+    src, dst = graph.edge_array()
+    with path.open("w", encoding="ascii") as handle:
+        handle.write(f"# repro graph n={graph.num_vertices} "
+                     f"directed={int(graph.directed)}\n")
+        if graph.weights is not None:
+            for u, v, w in zip(src, dst, graph.weights):
+                handle.write(f"{u} {v} {w}\n")
+        else:
+            for u, v in zip(src, dst):
+                handle.write(f"{u} {v}\n")
+
+
+def read_edge_list(path: str | Path, directed: bool = True) -> CSRGraph:
+    """Read a text edge list written by :func:`write_edge_list`.
+
+    Also accepts plain third-party edge lists without the header line, in
+    which case the vertex count is inferred from the largest endpoint.
+    """
+    path = Path(path)
+    num_vertices: int | None = None
+    srcs: list[int] = []
+    dsts: list[int] = []
+    weights: list[float] = []
+    weighted: bool | None = None
+    with path.open("r", encoding="ascii") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for token in line[1:].split():
+                    if token.startswith("n="):
+                        num_vertices = int(token[2:])
+                    elif token.startswith("directed="):
+                        directed = bool(int(token[len("directed="):]))
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphFormatError(f"bad edge line: {line!r}")
+            if weighted is None:
+                weighted = len(parts) == 3
+            elif weighted != (len(parts) == 3):
+                raise GraphFormatError("mixed weighted/unweighted edge lines")
+            srcs.append(int(parts[0]))
+            dsts.append(int(parts[1]))
+            if weighted:
+                weights.append(float(parts[2]))
+    if num_vertices is None:
+        num_vertices = (max(max(srcs, default=-1), max(dsts, default=-1)) + 1)
+    edge_weights = np.asarray(weights) if weighted else None
+    edges = EdgeList(num_vertices, np.asarray(srcs, dtype=np.int64),
+                     np.asarray(dsts, dtype=np.int64), edge_weights)
+    return CSRGraph.from_edge_list(edges, directed=directed)
+
+
+def save_npz(graph: CSRGraph, path: str | Path) -> None:
+    """Serialize a graph to NumPy's compressed .npz container."""
+    arrays: dict[str, np.ndarray] = {
+        "meta": np.array([graph.num_vertices, int(graph.directed)], dtype=np.int64),
+        "indptr": graph.indptr,
+        "indices": graph.indices,
+    }
+    if graph.directed:
+        arrays["in_indptr"] = graph.in_indptr
+        arrays["in_indices"] = graph.in_indices
+    if graph.weights is not None:
+        arrays["weights"] = graph.weights
+        if graph.directed and graph.in_weights is not None:
+            arrays["in_weights"] = graph.in_weights
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_npz(path: str | Path) -> CSRGraph:
+    """Load a graph saved by :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        num_vertices, directed_flag = (int(x) for x in data["meta"])
+        directed = bool(directed_flag)
+        indptr = data["indptr"]
+        indices = data["indices"]
+        weights = data["weights"] if "weights" in data else None
+        if directed:
+            in_indptr = data["in_indptr"]
+            in_indices = data["in_indices"]
+            in_weights = data["in_weights"] if "in_weights" in data else None
+        else:
+            in_indptr, in_indices, in_weights = indptr, indices, weights
+    return CSRGraph(
+        num_vertices,
+        indptr,
+        indices,
+        weights,
+        in_indptr,
+        in_indices,
+        in_weights,
+        directed,
+    )

@@ -1,0 +1,64 @@
+"""NWGraph triangle counting: relabel on the edge list, cyclic row split.
+
+Two NWGraph choices the paper highlights:
+
+* the degree-sort **relabel is performed on the flat edge list** before
+  compressing to CSR — "a much more efficient strategy than sorting and
+  relabeling on the compressed graph" — and the relabel *is* timed while
+  the final compression is not (GAP timing rules);
+* rows are distributed **cyclically** across workers, which gave
+  near-optimal load balance on skewed Web.  We keep the cyclic split as the
+  unit of work (it also shapes the work counters) even though execution is
+  sequential here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import counters
+from ..graphs import CSRGraph
+
+__all__ = ["nwgraph_tc"]
+
+NUM_CYCLIC_BLOCKS = 32
+
+
+def nwgraph_tc(graph: CSRGraph) -> int:
+    """Order-invariant TC with an edge-list relabel (always applied)."""
+    n = graph.num_vertices
+    src, dst = graph.edge_array()
+
+    # Relabel on the edge list: rank vertices by ascending degree.
+    degrees = np.bincount(src, minlength=n)
+    order = np.lexsort((np.arange(n), degrees))
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n)
+    src, dst = rank[src], rank[dst]
+
+    # Keep the forward orientation and compress (compression untimed in the
+    # original; a single vectorized pass here).
+    keep = dst > src
+    src, dst = src[keep], dst[keep]
+    sort_order = np.lexsort((dst, src))
+    src, dst = src[sort_order], dst[sort_order]
+    counts = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+
+    total = 0
+    for block in range(NUM_CYCLIC_BLOCKS):
+        rows = np.arange(block, n, NUM_CYCLIC_BLOCKS, dtype=np.int64)
+        rows = rows[counts[rows] >= 2]
+        for u in rows:
+            row = dst[indptr[u]: indptr[u + 1]]
+            starts, ends = indptr[row], indptr[row + 1]
+            chunks = [dst[s:e] for s, e in zip(starts, ends) if e > s]
+            if not chunks:
+                continue
+            targets = np.concatenate(chunks)
+            counters.add_edges(targets.size + row.size)
+            position = np.searchsorted(row, targets)
+            position[position == row.size] = 0
+            total += int((row[position] == targets).sum())
+    return total

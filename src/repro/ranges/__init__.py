@@ -1,0 +1,21 @@
+"""NWGraph-style substrate: range-of-ranges views and generic algorithms."""
+
+from .algorithms import (
+    ExecutionPolicy,
+    count_if,
+    exclusive_scan,
+    for_each,
+    transform_reduce,
+)
+from .views import AdjacencyView, EdgeRange, neighbor_range
+
+__all__ = [
+    "AdjacencyView",
+    "EdgeRange",
+    "ExecutionPolicy",
+    "count_if",
+    "exclusive_scan",
+    "for_each",
+    "neighbor_range",
+    "transform_reduce",
+]

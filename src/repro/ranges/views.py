@@ -1,0 +1,128 @@
+"""Range-of-ranges graph views: the NWGraph interface abstraction.
+
+NWGraph's fundamental abstraction is a graph as a *range of ranges* — the
+outer range iterates vertices, each inner range iterates that vertex's
+neighbors (with edge properties as tuples).  Algorithms are then written
+against standard-library-style generic algorithms, not against a concrete
+graph class.  These views adapt our CSR storage to that interface; the
+inner ranges are NumPy slices so the generic algorithms stay vectorizable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..graphs import CSRGraph
+
+__all__ = ["AdjacencyView", "EdgeRange", "neighbor_range"]
+
+
+class AdjacencyView:
+    """A graph as a random-access range of neighbor ranges."""
+
+    __slots__ = ("indptr", "indices", "weights")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+
+    @classmethod
+    def out_edges(cls, graph: CSRGraph) -> "AdjacencyView":
+        return cls(graph.indptr, graph.indices, graph.weights)
+
+    @classmethod
+    def in_edges(cls, graph: CSRGraph) -> "AdjacencyView":
+        return cls(graph.in_indptr, graph.in_indices, graph.in_weights)
+
+    def __len__(self) -> int:
+        return int(self.indptr.size - 1)
+
+    def __getitem__(self, vertex: int) -> np.ndarray:
+        """Inner range: the neighbor ids of ``vertex``."""
+        return self.indices[self.indptr[vertex]: self.indptr[vertex + 1]]
+
+    def properties(self, vertex: int) -> np.ndarray:
+        """Edge property tuple component (weights) of ``vertex``'s range."""
+        if self.weights is None:
+            return np.ones(int(self.indptr[vertex + 1] - self.indptr[vertex]))
+        return self.weights[self.indptr[vertex]: self.indptr[vertex + 1]]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for vertex in range(len(self)):
+            yield self[vertex]
+
+    def degrees(self) -> np.ndarray:
+        """Inner-range lengths (per-vertex degrees)."""
+        return np.diff(self.indptr)
+
+    def expand(self, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Flatten the inner ranges of ``vertices``: (sources, targets)."""
+        starts = self.indptr[vertices]
+        counts = self.indptr[vertices + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        sources = np.repeat(vertices, counts)
+        offsets = np.arange(total, dtype=np.int64)
+        begin = np.repeat(np.cumsum(counts) - counts, counts)
+        flat = np.repeat(starts, counts) + (offsets - begin)
+        return sources, self.indices[flat]
+
+    def expand_with_properties(
+        self, vertices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Like :meth:`expand`, also returning the edge property column."""
+        starts = self.indptr[vertices]
+        counts = self.indptr[vertices + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, np.empty(0, dtype=np.float64)
+        sources = np.repeat(vertices, counts)
+        offsets = np.arange(total, dtype=np.int64)
+        begin = np.repeat(np.cumsum(counts) - counts, counts)
+        flat = np.repeat(starts, counts) + (offsets - begin)
+        weights = (
+            np.ones(total, dtype=np.float64)
+            if self.weights is None
+            else self.weights[flat].astype(np.float64)
+        )
+        return sources, self.indices[flat], weights
+
+
+class EdgeRange:
+    """The graph's edges as one flat range of (source, target[, weight])."""
+
+    __slots__ = ("sources", "targets", "weights")
+
+    def __init__(self, graph: CSRGraph) -> None:
+        self.sources, self.targets = graph.edge_array()
+        self.weights = graph.weights
+
+    def __len__(self) -> int:
+        return int(self.sources.size)
+
+    def cyclic_blocks(self, num_blocks: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Cyclic (strided) partition of the edge range.
+
+        NWGraph's TC distributes *rows* cyclically across threads for load
+        balance on skewed graphs; the strided split is the range-level
+        equivalent.
+        """
+        for block in range(num_blocks):
+            sel = slice(block, None, num_blocks)
+            yield self.sources[sel], self.targets[sel]
+
+
+def neighbor_range(graph: CSRGraph, vertex: int) -> np.ndarray:
+    """Free-function form of the inner range (C++ ADL-style helper)."""
+    return graph.indices[graph.indptr[vertex]: graph.indptr[vertex + 1]]

@@ -1,0 +1,101 @@
+"""Element-wise GraphBLAS operations: eWiseAdd, eWiseMult, extract, apply.
+
+These complete the engine's operation set per the GraphBLAS C API the
+paper's Section III-A describes:
+
+* ``ewise_add(u, v, op)`` — union semantics: entries present in either
+  operand appear in the result; where both are present they are combined
+  with ``op`` (the "add" in the name refers to the *structure*, not the
+  operator — GraphBLAS's famously confusing but standard naming);
+* ``ewise_mult(u, v, op)`` — intersection semantics: only entries present
+  in both operands survive;
+* ``extract(u, indices)`` — subvector selection;
+* ``apply_masked(u, fn, mask)`` — unary apply restricted to a mask.
+
+All respect structural sparsity: absent is absent, never zero.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import DimensionMismatchError
+from .ops import BinaryOp
+from .vector import Vector
+
+__all__ = ["ewise_add", "ewise_mult", "extract", "apply_masked"]
+
+
+def ewise_add(u: Vector, v: Vector, op: BinaryOp) -> Vector:
+    """Union combine: ``w[i] = op(u[i], v[i])`` where both, else the one present."""
+    if u.n != v.n:
+        raise DimensionMismatchError("ewise_add: dimensions differ")
+    u_idx, u_vals = u.entries()
+    v_idx, v_vals = v.entries()
+    common, u_pos, v_pos = np.intersect1d(
+        u_idx, v_idx, assume_unique=True, return_indices=True
+    )
+    combined = (
+        np.asarray(op.apply(u_vals[u_pos], v_vals[v_pos], ix=common, iy=common))
+        if common.size
+        else np.empty(0)
+    )
+    only_u = np.setdiff1d(u_idx, common, assume_unique=True)
+    only_v = np.setdiff1d(v_idx, common, assume_unique=True)
+    out_idx = np.concatenate([common, only_u, only_v])
+    out_vals = np.concatenate(
+        [
+            combined,
+            u.values_at(only_u) if only_u.size else np.empty(0),
+            v.values_at(only_v) if only_v.size else np.empty(0),
+        ]
+    )
+    return Vector.from_entries(u.n, out_idx, out_vals)
+
+
+def ewise_mult(u: Vector, v: Vector, op: BinaryOp) -> Vector:
+    """Intersection combine: entries present in both operands only."""
+    if u.n != v.n:
+        raise DimensionMismatchError("ewise_mult: dimensions differ")
+    u_idx, u_vals = u.entries()
+    v_idx, v_vals = v.entries()
+    common, u_pos, v_pos = np.intersect1d(
+        u_idx, v_idx, assume_unique=True, return_indices=True
+    )
+    if common.size == 0:
+        return Vector.empty(u.n)
+    combined = np.asarray(op.apply(u_vals[u_pos], v_vals[v_pos], ix=common, iy=common))
+    return Vector.from_entries(u.n, common, combined)
+
+
+def extract(u: Vector, indices: np.ndarray) -> Vector:
+    """Subvector: ``w[k] = u[indices[k]]`` for present entries.
+
+    The result has dimension ``len(indices)``; absent source positions
+    stay absent in the result (GraphBLAS ``GrB_Vector_extract``).
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.size and (indices.min() < 0 or indices.max() >= u.n):
+        raise DimensionMismatchError("extract: index out of range")
+    present = u.contains(indices)
+    where = np.flatnonzero(present)
+    values = u.values_at(indices[where]) if where.size else np.empty(0)
+    return Vector.from_entries(indices.size, where, values)
+
+
+def apply_masked(
+    u: Vector,
+    fn: Callable[[np.ndarray], np.ndarray],
+    mask: Vector,
+    complement: bool = False,
+) -> Vector:
+    """``w<mask> = fn(u)``: unary apply over the mask's structural support."""
+    if u.n != mask.n:
+        raise DimensionMismatchError("apply_masked: dimensions differ")
+    idx, vals = u.entries()
+    allowed = mask.contains(idx)
+    if complement:
+        allowed = ~allowed
+    return Vector.from_entries(u.n, idx[allowed], fn(vals[allowed]))

@@ -1,0 +1,12 @@
+"""Galois-style runtime substrate: worklists and operator executors."""
+
+from .executor import ASYNC_CHUNK_SIZE, for_each_eager, for_each_round
+from .worklists import ChunkedWorklist, OrderedByIntegerMetric
+
+__all__ = [
+    "ASYNC_CHUNK_SIZE",
+    "ChunkedWorklist",
+    "OrderedByIntegerMetric",
+    "for_each_eager",
+    "for_each_round",
+]

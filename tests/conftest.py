@@ -1,0 +1,78 @@
+"""Shared fixtures: a small test corpus and oracle helpers."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.frameworks import FRAMEWORK_NAMES, get
+from repro.generators import build_graph, weighted_version
+from repro.graphs import CSRGraph, EdgeList
+
+TEST_SCALE = 9
+GRAPHS = ["road", "twitter", "web", "kron", "urand"]
+
+
+@pytest.fixture(scope="session", params=GRAPHS)
+def corpus_graph(request):
+    """Each of the five corpus analogs at test scale."""
+    return request.param, build_graph(request.param, scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """All five corpus graphs keyed by name."""
+    return {name: build_graph(name, scale=TEST_SCALE) for name in GRAPHS}
+
+
+@pytest.fixture(scope="session")
+def weighted_corpus(corpus):
+    return {name: weighted_version(graph) for name, graph in corpus.items()}
+
+
+@pytest.fixture(scope="session", params=FRAMEWORK_NAMES)
+def framework(request):
+    return get(request.param)
+
+
+@pytest.fixture
+def tiny_graph() -> CSRGraph:
+    """A small hand-made directed graph with known structure.
+
+    0 -> 1 -> 2 -> 3, 0 -> 2, 3 -> 0 (a cycle with a chord), plus isolated 4
+    and a separate pair 5 <-> 6.
+    """
+    edges = EdgeList(
+        7,
+        np.array([0, 1, 2, 0, 3, 5, 6]),
+        np.array([1, 2, 3, 2, 0, 6, 5]),
+    )
+    return CSRGraph.from_edge_list(edges, directed=True)
+
+
+@pytest.fixture
+def triangle_graph() -> CSRGraph:
+    """Undirected: a triangle 0-1-2 plus a pendant 3 and one 4-clique 4..7."""
+    src = [0, 1, 2, 2, 4, 4, 4, 5, 5, 6]
+    dst = [1, 2, 0, 3, 5, 6, 7, 6, 7, 7]
+    return CSRGraph.from_arrays(8, np.array(src), np.array(dst), directed=False)
+
+
+def to_networkx(graph: CSRGraph, weighted: bool = False) -> nx.Graph:
+    """Oracle view of a CSRGraph."""
+    out = nx.DiGraph() if graph.directed else nx.Graph()
+    out.add_nodes_from(range(graph.num_vertices))
+    src, dst = graph.edge_array()
+    if weighted and graph.weights is not None:
+        out.add_weighted_edges_from(
+            zip(src.tolist(), dst.tolist(), graph.weights.tolist())
+        )
+    else:
+        out.add_edges_from(zip(src.tolist(), dst.tolist()))
+    return out
+
+
+@pytest.fixture(scope="session")
+def nx_corpus(corpus):
+    return {name: to_networkx(graph) for name, graph in corpus.items()}

@@ -1,0 +1,170 @@
+"""Unit and property tests for repro.graphs.csr."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graphs import CSRGraph, EdgeList
+
+
+def random_graph(draw, directed: bool):
+    n = draw(st.integers(2, 24))
+    pairs = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)), max_size=80
+        )
+    )
+    edges = EdgeList(
+        n,
+        np.array([p[0] for p in pairs], dtype=np.int64),
+        np.array([p[1] for p in pairs], dtype=np.int64),
+    )
+    return CSRGraph.from_edge_list(edges, directed=directed)
+
+
+directed_graphs = st.builds(lambda d: d, st.none()).flatmap(
+    lambda _: st.composite(lambda draw: random_graph(draw, True))()
+)
+undirected_graphs = st.builds(lambda d: d, st.none()).flatmap(
+    lambda _: st.composite(lambda draw: random_graph(draw, False))()
+)
+
+
+class TestConstruction:
+    def test_tiny(self, tiny_graph):
+        assert tiny_graph.num_vertices == 7
+        assert tiny_graph.directed
+        assert tiny_graph.num_edges == 7
+
+    def test_adjacency_sorted_and_unique(self, tiny_graph):
+        for v in tiny_graph.vertices():
+            row = tiny_graph.neighbors(v)
+            assert (np.diff(row) > 0).all()
+
+    def test_self_loops_removed(self):
+        g = CSRGraph.from_arrays(3, np.array([0, 1]), np.array([0, 2]))
+        assert g.num_edges == 1
+
+    def test_duplicates_removed(self):
+        g = CSRGraph.from_arrays(3, np.array([0, 0, 0]), np.array([1, 1, 1]))
+        assert g.num_edges == 1
+
+    def test_undirected_stores_both_orientations(self):
+        g = CSRGraph.from_arrays(3, np.array([0]), np.array([1]), directed=False)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.num_undirected_edges == 1
+
+    def test_directed_rejects_num_undirected(self, tiny_graph):
+        with pytest.raises(GraphFormatError):
+            _ = tiny_graph.num_undirected_edges
+
+    def test_degrees(self, tiny_graph):
+        assert tiny_graph.out_degree(0) == 2  # 0->1, 0->2
+        assert tiny_graph.in_degree(2) == 2  # 1->2, 0->2
+
+    def test_degree_arrays_match_scalars(self, tiny_graph):
+        for v in tiny_graph.vertices():
+            assert tiny_graph.out_degrees[v] == tiny_graph.out_degree(v)
+            assert tiny_graph.in_degrees[v] == tiny_graph.in_degree(v)
+
+    def test_weights_travel(self):
+        g = CSRGraph.from_arrays(
+            3, np.array([0, 1]), np.array([1, 2]), np.array([5.0, 7.0])
+        )
+        assert g.is_weighted
+        assert g.neighbor_weights(0).tolist() == [5.0]
+        assert g.in_neighbor_weights(2).tolist() == [7.0]
+
+    def test_unweighted_weight_access_raises(self, tiny_graph):
+        with pytest.raises(GraphFormatError):
+            tiny_graph.neighbor_weights(0)
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(
+                2,
+                np.array([0, 1]),  # wrong length
+                np.array([1]),
+                None,
+                np.array([0, 0, 1]),
+                np.array([0]),
+                None,
+                directed=True,
+            )
+
+
+class TestQueries:
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(0, 1)
+        assert not tiny_graph.has_edge(1, 0)
+        assert not tiny_graph.has_edge(4, 0)
+
+    def test_edges_iterator_matches_edge_array(self, tiny_graph):
+        from_iter = list(tiny_graph.edges())
+        src, dst = tiny_graph.edge_array()
+        assert from_iter == list(zip(src.tolist(), dst.tolist()))
+
+    def test_in_neighbors(self, tiny_graph):
+        assert set(tiny_graph.in_neighbors(2).tolist()) == {0, 1}
+
+    def test_equality(self, tiny_graph):
+        clone = CSRGraph.from_edge_list(tiny_graph.to_edge_list(), directed=True)
+        assert clone == tiny_graph
+
+    def test_inequality_different_edges(self, tiny_graph):
+        other = CSRGraph.from_arrays(7, np.array([0]), np.array([1]))
+        assert other != tiny_graph
+
+
+class TestDerived:
+    def test_transpose_swaps_directions(self, tiny_graph):
+        t = tiny_graph.transpose()
+        assert t.has_edge(1, 0)
+        assert not t.has_edge(0, 1)
+
+    def test_transpose_involution(self, tiny_graph):
+        assert tiny_graph.transpose().transpose() == tiny_graph
+
+    def test_transpose_of_undirected_is_self(self):
+        g = CSRGraph.from_arrays(3, np.array([0]), np.array([1]), directed=False)
+        assert g.transpose() is g
+
+    def test_to_undirected(self, tiny_graph):
+        u = tiny_graph.to_undirected()
+        assert not u.directed
+        assert u.has_edge(1, 0) and u.has_edge(0, 1)
+
+    def test_to_edge_list_roundtrip(self, tiny_graph):
+        rebuilt = CSRGraph.from_edge_list(tiny_graph.to_edge_list(), directed=True)
+        assert rebuilt == tiny_graph
+
+
+class TestHypothesis:
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_undirected_symmetry(self, data):
+        g = random_graph(data.draw, directed=False)
+        src, dst = g.edge_array()
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert all((b, a) in pairs for a, b in pairs)
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_indptr_monotone(self, data):
+        g = random_graph(data.draw, directed=True)
+        assert (np.diff(g.indptr) >= 0).all()
+        assert g.indptr[-1] == g.indices.size
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_in_out_edge_counts_match(self, data):
+        g = random_graph(data.draw, directed=True)
+        assert g.out_degrees.sum() == g.in_degrees.sum() == g.num_edges
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_transpose_preserves_edge_count(self, data):
+        g = random_graph(data.draw, directed=True)
+        assert g.transpose().num_edges == g.num_edges

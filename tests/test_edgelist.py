@@ -1,0 +1,144 @@
+"""Unit and property tests for repro.graphs.edgelist."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graphs import EdgeList
+
+
+def edge_list_strategy(max_n=32, max_m=120):
+    """Random edge lists over a small vertex range."""
+    return st.integers(2, max_n).flatmap(
+        lambda n: st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=max_m,
+        ).map(
+            lambda pairs: EdgeList(
+                n,
+                np.array([p[0] for p in pairs], dtype=np.int64),
+                np.array([p[1] for p in pairs], dtype=np.int64),
+            )
+        )
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        el = EdgeList(3, np.array([0, 1]), np.array([1, 2]))
+        assert el.num_edges == 2
+        assert not el.is_weighted
+
+    def test_empty(self):
+        el = EdgeList(5, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert el.num_edges == 0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(GraphFormatError):
+            EdgeList(3, np.array([0, 1]), np.array([1]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            EdgeList(2, np.array([0]), np.array([5]))
+
+    def test_rejects_negative_vertex(self):
+        with pytest.raises(GraphFormatError):
+            EdgeList(2, np.array([-1]), np.array([0]))
+
+    def test_rejects_weights_length_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            EdgeList(3, np.array([0]), np.array([1]), np.array([1.0, 2.0]))
+
+    def test_weighted(self):
+        el = EdgeList(3, np.array([0]), np.array([1]), np.array([7.0]))
+        assert el.is_weighted
+
+
+class TestTransforms:
+    def test_without_self_loops(self):
+        el = EdgeList(3, np.array([0, 1, 2]), np.array([0, 2, 2]))
+        clean = el.without_self_loops()
+        assert clean.num_edges == 1
+        assert clean.src[0] == 1 and clean.dst[0] == 2
+
+    def test_deduplicated(self):
+        el = EdgeList(3, np.array([0, 0, 0]), np.array([1, 1, 2]))
+        dedup = el.deduplicated()
+        assert dedup.num_edges == 2
+
+    def test_deduplicated_keeps_first_weight(self):
+        el = EdgeList(
+            3, np.array([0, 0]), np.array([1, 1]), np.array([5.0, 9.0])
+        )
+        dedup = el.deduplicated()
+        assert dedup.num_edges == 1
+        assert dedup.weights[0] == 5.0
+
+    def test_symmetrized_contains_both_directions(self):
+        el = EdgeList(3, np.array([0]), np.array([1]))
+        sym = el.symmetrized()
+        pairs = set(zip(sym.src.tolist(), sym.dst.tolist()))
+        assert pairs == {(0, 1), (1, 0)}
+
+    def test_reversed(self):
+        el = EdgeList(3, np.array([0, 1]), np.array([1, 2]))
+        rev = el.reversed()
+        assert rev.src.tolist() == [1, 2]
+        assert rev.dst.tolist() == [0, 1]
+
+    def test_relabeled(self):
+        el = EdgeList(3, np.array([0]), np.array([1]))
+        out = el.relabeled(np.array([2, 0, 1]))
+        assert out.src[0] == 2 and out.dst[0] == 0
+
+    def test_relabeled_rejects_non_permutation(self):
+        el = EdgeList(3, np.array([0]), np.array([1]))
+        with pytest.raises(GraphFormatError):
+            el.relabeled(np.array([0, 0, 1]))
+
+    def test_uniform_weights_symmetric_pairs_match(self):
+        rng = np.random.default_rng(0)
+        el = EdgeList(
+            4, np.array([0, 1, 2, 3]), np.array([1, 0, 3, 2])
+        ).with_uniform_weights(rng)
+        # (0,1)/(1,0) and (2,3)/(3,2) must share weights.
+        assert el.weights[0] == el.weights[1]
+        assert el.weights[2] == el.weights[3]
+
+    def test_uniform_weights_in_range(self):
+        rng = np.random.default_rng(1)
+        el = EdgeList(
+            10, np.arange(9), np.arange(1, 10)
+        ).with_uniform_weights(rng, low=1, high=255)
+        assert (el.weights >= 1).all() and (el.weights <= 255).all()
+
+
+class TestProperties:
+    @given(edge_list_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_dedup_idempotent(self, el):
+        once = el.deduplicated()
+        twice = once.deduplicated()
+        assert once.num_edges == twice.num_edges
+
+    @given(edge_list_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_dedup_has_no_duplicates(self, el):
+        dedup = el.deduplicated()
+        pairs = list(zip(dedup.src.tolist(), dedup.dst.tolist()))
+        assert len(pairs) == len(set(pairs))
+
+    @given(edge_list_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_symmetrized_is_symmetric(self, el):
+        sym = el.symmetrized()
+        pairs = set(zip(sym.src.tolist(), sym.dst.tolist()))
+        assert all((b, a) in pairs for a, b in pairs)
+
+    @given(edge_list_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_self_loop_removal_total(self, el):
+        clean = el.without_self_loops()
+        assert (clean.src != clean.dst).all()

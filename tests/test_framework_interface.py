@@ -1,0 +1,118 @@
+"""Tests for the framework registry and common interface (Tables II/III)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownFrameworkError, UnknownKernelError
+from repro.frameworks import (
+    FRAMEWORK_NAMES,
+    KERNELS,
+    Mode,
+    RunContext,
+    all_frameworks,
+    attributes_table,
+    get,
+)
+
+
+class TestRegistry:
+    def test_six_frameworks_in_paper_order(self):
+        assert FRAMEWORK_NAMES == (
+            "gap",
+            "suitesparse",
+            "galois",
+            "nwgraph",
+            "graphit",
+            "gkc",
+        )
+
+    def test_get_caches(self):
+        assert get("gap") is get("gap")
+
+    def test_case_insensitive(self):
+        assert get("GKC") is get("gkc")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(UnknownFrameworkError):
+            get("pregel")
+
+    def test_extension_framework_available(self):
+        # "ligra" is an extension: not in the paper's six, but buildable.
+        assert get("ligra").name == "ligra"
+
+    def test_all_frameworks(self):
+        frameworks = all_frameworks()
+        assert list(frameworks) == list(FRAMEWORK_NAMES)
+
+
+class TestAttributes:
+    def test_every_framework_declares_all_kernels(self):
+        for name in FRAMEWORK_NAMES:
+            algorithms = get(name).attributes.algorithms
+            assert set(algorithms) == set(KERNELS), name
+
+    def test_attributes_table_columns(self):
+        rows = attributes_table()
+        for row in rows:
+            assert row["Type"]
+            assert row["Programming Abstraction"]
+            assert row["Intended Users"]
+
+    def test_paper_taxonomy_spot_checks(self):
+        assert get("suitesparse").attributes.abstraction == "sparse linear algebra"
+        assert "domain-specific language" in get("graphit").attributes.framework_type
+        assert "asynchronous" in get("galois").attributes.synchronization
+        assert get("nwgraph").attributes.framework_type == "header-only library"
+
+    def test_unmodelled_lists_exist(self):
+        # Every reimplementation must disclose what it cannot model.
+        for name in FRAMEWORK_NAMES:
+            assert isinstance(get(name).attributes.unmodelled, tuple)
+
+
+class TestRunKernelDispatch:
+    def test_dispatch_matches_methods(self, corpus):
+        graph = corpus["kron"]
+        fw = get("gap")
+        ctx = RunContext()
+        source = int(np.flatnonzero(graph.out_degrees > 0)[0])
+        via_dispatch = fw.run_kernel("bfs", graph, ctx, source=source)
+        direct = fw.bfs(graph, source, ctx)
+        assert np.array_equal(via_dispatch, direct)
+
+    def test_tc_dispatch(self, corpus):
+        fw = get("gap")
+        assert fw.run_kernel("tc", corpus["kron"], RunContext()) == fw.triangle_count(
+            corpus["kron"]
+        )
+
+    def test_unknown_kernel(self, corpus):
+        with pytest.raises(UnknownKernelError):
+            get("gap").run_kernel("apsp", corpus["kron"], RunContext())
+
+
+class TestRunContext:
+    def test_defaults_baseline(self):
+        ctx = RunContext()
+        assert ctx.mode is Mode.BASELINE
+        assert not ctx.optimized
+
+    def test_optimized_flag(self):
+        assert RunContext(mode=Mode.OPTIMIZED).optimized
+
+
+class TestPrepareHook:
+    def test_default_prepare_identity(self, corpus):
+        graph = corpus["kron"]
+        assert get("gap").prepare("tc", graph, RunContext()) is graph
+
+    def test_galois_optimized_tc_prepare_relabels(self, corpus):
+        graph = corpus["twitter"]
+        ctx = RunContext(mode=Mode.OPTIMIZED, graph_name="twitter")
+        prepared = get("galois").prepare("tc", graph, ctx)
+        assert prepared is not graph
+        assert not prepared.directed
+
+    def test_galois_baseline_tc_prepare_identity(self, corpus):
+        graph = corpus["twitter"]
+        assert get("galois").prepare("tc", graph, RunContext()) is graph

@@ -1,0 +1,174 @@
+"""Tests for the five GAP graph-analog generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidValueError, UnknownGraphError
+from repro.generators import (
+    GAP_GRAPHS,
+    GRAPH_NAMES,
+    build_corpus,
+    build_graph,
+    rmat_edges,
+    road_edges,
+    twitter_edges,
+    urand_edges,
+    web_edges,
+    weighted_version,
+)
+from repro.graphs import analyze
+
+
+class TestRegistry:
+    def test_five_graphs(self):
+        assert GRAPH_NAMES == ("road", "twitter", "web", "kron", "urand")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(UnknownGraphError):
+            build_graph("facebook")
+
+    def test_deterministic_across_calls(self):
+        a = build_graph("kron", scale=8, seed=3)
+        b = build_graph("kron", scale=8, seed=3)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = build_graph("kron", scale=8, seed=1)
+        b = build_graph("kron", scale=8, seed=2)
+        assert a != b
+
+    def test_build_corpus_covers_all(self):
+        corpus = build_corpus(scale=7)
+        assert set(corpus) == set(GRAPH_NAMES)
+
+    def test_directedness_matches_table1(self):
+        corpus = build_corpus(scale=7)
+        assert corpus["road"].directed
+        assert corpus["twitter"].directed
+        assert corpus["web"].directed
+        assert not corpus["kron"].directed
+        assert not corpus["urand"].directed
+
+    def test_paper_metadata_present(self):
+        spec = GAP_GRAPHS["kron"]
+        assert spec.paper_vertices_m == 134.2
+        assert spec.paper_distribution == "power"
+
+
+class TestTopologyClasses:
+    """The generated analogs must reproduce Table I's topology contrasts."""
+
+    def test_degree_distribution_classes(self, corpus):
+        expected = {
+            "road": "bounded",
+            "twitter": "power",
+            "web": "power",
+            "kron": "power",
+            "urand": "normal",
+        }
+        for name, graph in corpus.items():
+            props = analyze(graph, name)
+            assert props.degree_distribution == expected[name], name
+
+    def test_diameter_ordering(self, corpus):
+        diameters = {name: analyze(g, name).approx_diameter for name, g in corpus.items()}
+        # Road >> everything else (Table I: 6304 vs <= 135).  Web's own
+        # margin over the low-diameter trio only opens up at benchmark
+        # scale, so here it is only required not to be smaller.
+        assert diameters["road"] > 3 * diameters["web"]
+        assert diameters["web"] >= diameters["kron"]
+        assert diameters["web"] >= diameters["urand"]
+
+    def test_road_degree_bounded(self, corpus):
+        assert corpus["road"].out_degrees.max() <= 12
+
+    def test_power_law_has_hubs(self, corpus):
+        # Web's tail is window-limited at small scales, so its hub margin
+        # is looser than the R-MAT graphs'.
+        margins = {"twitter": 15, "web": 5, "kron": 15}
+        for name, margin in margins.items():
+            degrees = corpus[name].out_degrees
+            assert degrees.max() > margin * max(degrees.mean(), 1), name
+
+
+class TestIndividualGenerators:
+    def test_rmat_rejects_bad_initiator(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(InvalidValueError):
+            rmat_edges(4, 4, rng, initiator=(0.5, 0.5, 0.5, 0.5))
+
+    def test_rmat_vertex_count(self):
+        rng = np.random.default_rng(0)
+        edges = rmat_edges(6, 4, rng)
+        assert edges.num_vertices == 64
+        assert edges.num_edges == 4 * 64
+
+    def test_urand_rejects_bad_scale(self):
+        with pytest.raises(InvalidValueError):
+            urand_edges(-1, 4, np.random.default_rng(0))
+
+    def test_urand_uniformity(self):
+        rng = np.random.default_rng(0)
+        edges = urand_edges(10, 8, rng)
+        counts = np.bincount(edges.src, minlength=1024)
+        # Coefficient of variation of a Poisson(8) is ~0.35.
+        assert counts.std() / counts.mean() < 0.6
+
+    def test_road_rejects_tiny_scale(self):
+        with pytest.raises(InvalidValueError):
+            road_edges(1, np.random.default_rng(0))
+
+    def test_road_mostly_two_way(self):
+        rng = np.random.default_rng(0)
+        edges = road_edges(10, rng)
+        pairs = set(zip(edges.src.tolist(), edges.dst.tolist()))
+        reciprocal = sum(1 for a, b in pairs if (b, a) in pairs)
+        assert reciprocal / len(pairs) > 0.7
+
+    def test_web_rejects_tiny_scale(self):
+        with pytest.raises(InvalidValueError):
+            web_edges(2, 8, np.random.default_rng(0))
+
+    def test_web_locality(self):
+        rng = np.random.default_rng(0)
+        edges = web_edges(10, 16, rng)
+        n = edges.num_vertices
+        band = 2 * max(32, n // 256)  # hub spill band
+        distance = np.minimum(
+            np.abs(edges.src - edges.dst), n - np.abs(edges.src - edges.dst)
+        )
+        local_fraction = float((distance <= band).mean())
+        assert local_fraction > 0.95
+
+    def test_twitter_mostly_asymmetric(self):
+        rng = np.random.default_rng(0)
+        edges = twitter_edges(10, 8, rng)
+        pairs = set(zip(edges.src.tolist(), edges.dst.tolist()))
+        reciprocal = sum(1 for a, b in pairs if (b, a) in pairs and a < b)
+        assert reciprocal < 0.25 * len(pairs)
+
+
+class TestWeights:
+    def test_weighted_version_range(self, corpus):
+        weighted = weighted_version(corpus["road"])
+        assert weighted.weights.min() >= 1
+        assert weighted.weights.max() <= 255
+
+    def test_weighted_version_idempotent(self, corpus):
+        weighted = weighted_version(corpus["road"])
+        assert weighted_version(weighted) is weighted
+
+    def test_undirected_weights_symmetric(self, corpus):
+        weighted = weighted_version(corpus["urand"])
+        src, dst = weighted.edge_array()
+        lookup = {
+            (a, b): w
+            for a, b, w in zip(src.tolist(), dst.tolist(), weighted.weights.tolist())
+        }
+        for (a, b), w in list(lookup.items())[:500]:
+            assert lookup[(b, a)] == w
+
+    def test_weighted_deterministic(self, corpus):
+        a = weighted_version(corpus["kron"], seed=5)
+        b = weighted_version(corpus["kron"], seed=5)
+        assert np.array_equal(a.weights, b.weights)

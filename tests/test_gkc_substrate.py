@@ -1,0 +1,79 @@
+"""Tests for GKC's substrate pieces: local buffers and the TC batcher."""
+
+import numpy as np
+
+from repro.core import counters
+from repro.gkc import LocalBuffer
+from repro.gkc.tc import gkc_tc
+from repro.graphs import CSRGraph
+
+
+class TestLocalBuffer:
+    def test_accumulates_and_drains(self):
+        buf = LocalBuffer(capacity=100)
+        buf.push(np.array([1, 2]))
+        buf.push(np.array([3]))
+        assert len(buf) == 3
+        assert buf.drain().tolist() == [1, 2, 3]
+        assert len(buf) == 0
+
+    def test_flush_at_capacity(self):
+        buf = LocalBuffer(capacity=2)
+        with counters.counting() as work:
+            buf.push(np.array([1, 2, 3]))  # exceeds capacity: flushes
+            buf.push(np.array([4]))
+        assert work.extras.get("buffer_flushes", 0) >= 1
+        assert buf.drain().tolist() == [1, 2, 3, 4]
+
+    def test_empty_push_is_noop(self):
+        buf = LocalBuffer()
+        buf.push(np.empty(0, dtype=np.int64))
+        assert len(buf) == 0
+        assert buf.drain().size == 0
+
+    def test_double_drain(self):
+        buf = LocalBuffer()
+        buf.push(np.array([1]))
+        buf.drain()
+        assert buf.drain().size == 0
+
+
+class TestGkcTcBatching:
+    def test_block_budget_invariance(self, triangle_graph):
+        """The wedge-block budget must not change the count."""
+        import repro.gkc.tc as tc_module
+
+        original = tc_module.WEDGE_BLOCK
+        try:
+            for budget in (4, 64, 1 << 20):
+                tc_module.WEDGE_BLOCK = budget
+                assert gkc_tc(triangle_graph) == 5
+        finally:
+            tc_module.WEDGE_BLOCK = original
+
+    def test_two_sided_expansion_matches_reference(self, corpus):
+        from repro.gapbs.tc import triangle_count as gap_tc
+
+        for name in ("kron", "urand", "web"):
+            graph = corpus[name]
+            undirected = graph.to_undirected() if graph.directed else graph
+            assert gkc_tc(undirected) == gap_tc(undirected), name
+
+    def test_path_graph_no_triangles(self):
+        n = 32
+        path = CSRGraph.from_arrays(
+            n, np.arange(n - 1), np.arange(1, n), directed=False
+        )
+        assert gkc_tc(path) == 0
+
+    def test_wedge_work_bounded_by_one_sided(self, corpus):
+        """Two-sided expansion must never examine more wedges than the
+        one-sided (GAP-style) enumeration."""
+        from repro.gapbs.tc import triangle_count as gap_tc
+
+        graph = corpus["twitter"].to_undirected()
+        with counters.counting() as two_sided:
+            gkc_tc(graph)
+        with counters.counting() as one_sided:
+            gap_tc(graph)
+        assert two_sided.edges_examined <= one_sided.edges_examined

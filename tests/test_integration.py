@@ -1,0 +1,167 @@
+"""End-to-end integration: the full harness and randomized cross-checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BenchmarkSpec, run_suite
+from repro.core.tables import table4_rows, table5_rows
+from repro.frameworks import FRAMEWORK_NAMES, KERNELS, Mode, all_frameworks, get
+from repro.graphs import CSRGraph, EdgeList
+
+
+class TestFullSuiteIntegration:
+    """One complete (verified) campaign across everything, at tiny scale."""
+
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        spec = BenchmarkSpec(scale=8, trials={k: 1 for k in KERNELS})
+        return run_suite(
+            all_frameworks().values(),
+            ["road", "kron"],
+            spec=spec,
+        )
+
+    def test_every_cell_present_and_verified(self, campaign):
+        assert len(campaign) == len(FRAMEWORK_NAMES) * len(KERNELS) * 2 * 2
+        assert all(result.verified for result in campaign)
+
+    def test_table4_complete(self, campaign):
+        rows = table4_rows(campaign, ["road", "kron"])
+        for row in rows:
+            for mode in ("baseline", "optimized"):
+                for graph in ("road", "kron"):
+                    assert row[f"{mode}:{graph}"] is not None
+                    assert row[f"{mode}:{graph}:winner"] in FRAMEWORK_NAMES
+
+    def test_table5_complete(self, campaign):
+        rows = table5_rows(campaign, ["road", "kron"])
+        assert len(rows) == (len(FRAMEWORK_NAMES) - 1) * len(KERNELS)
+        values = [
+            row[f"{mode}:{graph}"]
+            for row in rows
+            for mode in ("baseline", "optimized")
+            for graph in ("road", "kron")
+        ]
+        assert all(isinstance(v, float) and v > 0 for v in values)
+
+
+def random_graphs(directed: bool):
+    """Hypothesis strategy: arbitrary small graphs (any topology)."""
+
+    def build(args):
+        n, pairs = args
+        src = np.array([a % n for a, _ in pairs], dtype=np.int64)
+        dst = np.array([b % n for _, b in pairs], dtype=np.int64)
+        return CSRGraph.from_edge_list(EdgeList(n, src, dst), directed=directed)
+
+    return st.tuples(
+        st.integers(2, 30),
+        st.lists(st.tuples(st.integers(0, 1000), st.integers(0, 1000)), max_size=120),
+    ).map(build)
+
+
+class TestRandomizedCrossFramework:
+    """Property tests: all six frameworks agree on arbitrary graphs.
+
+    These catch topology edge cases the corpus misses: disconnected shards,
+    self-loop-only inputs, stars, parallel chains, empty graphs.
+    """
+
+    @given(random_graphs(directed=True))
+    @settings(max_examples=25, deadline=None)
+    def test_bfs_reachability_agreement(self, graph):
+        candidates = np.flatnonzero(graph.out_degrees > 0)
+        source = int(candidates[0]) if candidates.size else 0
+        reference = get("gap").bfs(graph, source) >= 0
+        for name in FRAMEWORK_NAMES[1:]:
+            reached = get(name).bfs(graph, source) >= 0
+            assert np.array_equal(reached, reference), name
+
+    @given(random_graphs(directed=True))
+    @settings(max_examples=25, deadline=None)
+    def test_cc_partition_agreement(self, graph):
+        reference = get("gap").connected_components(graph)
+        _, ref_ids = np.unique(reference, return_inverse=True)
+        for name in FRAMEWORK_NAMES[1:]:
+            labels = get(name).connected_components(graph)
+            _, ids = np.unique(labels, return_inverse=True)
+            assert np.array_equal(ids, ref_ids), name
+
+    @given(random_graphs(directed=False))
+    @settings(max_examples=25, deadline=None)
+    def test_tc_agreement(self, graph):
+        reference = get("gap").triangle_count(graph)
+        for name in FRAMEWORK_NAMES[1:]:
+            assert get(name).triangle_count(graph) == reference, name
+
+    @given(random_graphs(directed=True))
+    @settings(max_examples=15, deadline=None)
+    def test_pr_agreement(self, graph):
+        reference = get("gap").pagerank(graph, tolerance=1e-10, max_iterations=500)
+        for name in FRAMEWORK_NAMES[1:]:
+            scores = get(name).pagerank(graph, tolerance=1e-10, max_iterations=500)
+            assert np.abs(scores - reference).max() < 1e-6, name
+
+    @given(random_graphs(directed=True), st.integers(1, 64))
+    @settings(max_examples=20, deadline=None)
+    def test_sssp_agreement_random_weights(self, graph, weight_seed):
+        if graph.num_edges == 0:
+            return
+        rng = np.random.default_rng(weight_seed)
+        edges = graph.to_edge_list().with_uniform_weights(rng)
+        weighted = CSRGraph.from_edge_list(edges, directed=True)
+        source = int(np.flatnonzero(weighted.out_degrees > 0)[0])
+        reference = get("gap").sssp(weighted, source)
+        for name in FRAMEWORK_NAMES[1:]:
+            dist = get(name).sssp(weighted, source)
+            assert np.array_equal(
+                np.nan_to_num(dist, posinf=-1.0),
+                np.nan_to_num(reference, posinf=-1.0),
+            ), name
+
+    @given(random_graphs(directed=True))
+    @settings(max_examples=15, deadline=None)
+    def test_bc_agreement(self, graph):
+        candidates = np.flatnonzero(graph.out_degrees > 0)
+        if candidates.size == 0:
+            return
+        sources = candidates[:2]
+        reference = get("gap").betweenness(graph, sources)
+        for name in FRAMEWORK_NAMES[1:]:
+            scores = get(name).betweenness(graph, sources)
+            assert np.allclose(scores, reference), name
+
+
+class TestDegenerateInputs:
+    def test_empty_graph_kernels(self):
+        graph = CSRGraph.from_arrays(
+            4, np.array([], dtype=np.int64), np.array([], dtype=np.int64),
+            directed=False,
+        )
+        for name in FRAMEWORK_NAMES:
+            framework = get(name)
+            assert framework.triangle_count(graph) == 0
+            labels = framework.connected_components(graph)
+            assert len(np.unique(labels)) == 4
+            scores = framework.pagerank(graph)
+            assert np.isfinite(scores).all()
+
+    def test_single_edge_bfs(self):
+        graph = CSRGraph.from_arrays(2, np.array([0]), np.array([1]))
+        for name in FRAMEWORK_NAMES:
+            parents = get(name).bfs(graph, 0)
+            assert parents[0] == 0 and parents[1] == 0
+
+    def test_two_cliques_cc(self):
+        # Two K3s.
+        src = np.array([0, 0, 1, 3, 3, 4])
+        dst = np.array([1, 2, 2, 4, 5, 5])
+        graph = CSRGraph.from_arrays(6, src, dst, directed=False)
+        for name in FRAMEWORK_NAMES:
+            labels = get(name).connected_components(graph)
+            assert labels[0] == labels[1] == labels[2]
+            assert labels[3] == labels[4] == labels[5]
+            assert labels[0] != labels[3]
+            assert get(name).triangle_count(graph) == 2

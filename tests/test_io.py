@@ -1,0 +1,71 @@
+"""Tests for graph serialization (text edge lists and .npz)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.generators import build_graph, weighted_version
+from repro.graphs import load_npz, read_edge_list, save_npz, write_edge_list
+
+
+class TestTextRoundtrip:
+    def test_unweighted(self, tmp_path, tiny_graph):
+        path = tmp_path / "g.el"
+        write_edge_list(tiny_graph, path)
+        back = read_edge_list(path)
+        assert back == tiny_graph
+
+    def test_weighted(self, tmp_path):
+        graph = weighted_version(build_graph("kron", scale=7))
+        path = tmp_path / "g.wel"
+        write_edge_list(graph, path)
+        back = read_edge_list(path)
+        assert back.is_weighted
+        assert np.array_equal(back.weights, graph.weights)
+        assert back == graph
+
+    def test_undirected_preserved_via_header(self, tmp_path):
+        graph = build_graph("urand", scale=7)
+        path = tmp_path / "g.el"
+        write_edge_list(graph, path)
+        back = read_edge_list(path)
+        assert not back.directed
+
+    def test_headerless_third_party_file(self, tmp_path):
+        path = tmp_path / "plain.el"
+        path.write_text("0 1\n1 2\n", encoding="ascii")
+        graph = read_edge_list(path, directed=True)
+        assert graph.num_vertices == 3
+        assert graph.has_edge(0, 1)
+
+    def test_bad_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.el"
+        path.write_text("0 1 2 3\n", encoding="ascii")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_mixed_weighting_rejected(self, tmp_path):
+        path = tmp_path / "mixed.el"
+        path.write_text("0 1\n1 2 5\n", encoding="ascii")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+
+class TestNpzRoundtrip:
+    @pytest.mark.parametrize("name", ["road", "kron"])
+    def test_roundtrip(self, tmp_path, name):
+        graph = build_graph(name, scale=7)
+        path = tmp_path / f"{name}.npz"
+        save_npz(graph, path)
+        back = load_npz(path)
+        assert back == graph
+        assert back.directed == graph.directed
+        assert np.array_equal(back.in_indptr, graph.in_indptr)
+
+    def test_weighted_roundtrip(self, tmp_path):
+        graph = weighted_version(build_graph("road", scale=7))
+        path = tmp_path / "w.npz"
+        save_npz(graph, path)
+        back = load_npz(path)
+        assert np.array_equal(back.weights, graph.weights)
+        assert np.array_equal(back.in_weights, graph.in_weights)

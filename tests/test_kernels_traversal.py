@@ -1,0 +1,101 @@
+"""Cross-framework correctness: BFS and SSSP on every corpus graph.
+
+Every framework must produce GAP-spec-conformant output on every topology;
+oracles are networkx (independent of all our code).
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.frameworks import Mode, RunContext
+from repro.generators import weighted_version
+
+from .conftest import to_networkx
+
+
+def pick_sources(graph, count=3, seed=1):
+    rng = np.random.default_rng(seed)
+    candidates = np.flatnonzero(graph.out_degrees > 0)
+    return rng.choice(candidates, size=min(count, candidates.size), replace=False)
+
+
+class TestBFS:
+    def test_parents_valid(self, framework, corpus_graph, nx_corpus):
+        name, graph = corpus_graph
+        oracle = nx_corpus[name]
+        for source in pick_sources(graph):
+            parents = framework.bfs(graph, int(source))
+            depths = nx.single_source_shortest_path_length(oracle, int(source))
+            reached = np.flatnonzero(parents >= 0)
+            assert set(reached.tolist()) == set(depths), (
+                framework.name,
+                name,
+                "reachable set",
+            )
+            assert parents[source] == source
+            for v in reached.tolist():
+                if v == source:
+                    continue
+                p = int(parents[v])
+                assert graph.has_edge(p, v), (framework.name, name, v, p)
+                assert depths[p] + 1 == depths[v], (framework.name, name, v)
+
+    def test_unreachable_marked(self, framework, tiny_graph):
+        parents = framework.bfs(tiny_graph, 5)
+        assert parents[5] == 5
+        assert parents[6] == 5
+        assert (parents[[0, 1, 2, 3, 4]] == -1).all()
+
+    def test_single_vertex_frontier_end(self, framework, tiny_graph):
+        # Source with no outgoing path beyond its component.
+        parents = framework.bfs(tiny_graph, 0)
+        assert set(np.flatnonzero(parents >= 0).tolist()) == {0, 1, 2, 3}
+
+    def test_optimized_mode_also_correct(self, framework, corpus_graph):
+        name, graph = corpus_graph
+        ctx = RunContext(mode=Mode.OPTIMIZED, graph_name=name)
+        source = int(pick_sources(graph, 1)[0])
+        parents_opt = framework.bfs(graph, source, ctx)
+        parents_base = framework.bfs(graph, source)
+        reached_opt = set(np.flatnonzero(parents_opt >= 0).tolist())
+        reached_base = set(np.flatnonzero(parents_base >= 0).tolist())
+        assert reached_opt == reached_base
+
+
+class TestSSSP:
+    def test_distances_match_dijkstra(self, framework, corpus_graph, weighted_corpus):
+        name, _ = corpus_graph
+        graph = weighted_corpus[name]
+        oracle_graph = to_networkx(graph, weighted=True)
+        for source in pick_sources(graph, count=2):
+            dist = framework.sssp(graph, int(source))
+            oracle = nx.single_source_dijkstra_path_length(oracle_graph, int(source))
+            for v, d in oracle.items():
+                assert dist[v] == pytest.approx(d), (framework.name, name, v)
+            unreachable = set(range(graph.num_vertices)) - set(oracle)
+            assert np.isinf(dist[list(unreachable)]).all() if unreachable else True
+
+    def test_source_distance_zero(self, framework, weighted_corpus):
+        graph = weighted_corpus["kron"]
+        source = int(pick_sources(graph, 1)[0])
+        assert framework.sssp(graph, source)[source] == 0.0
+
+    def test_delta_insensitive(self, framework, weighted_corpus):
+        """Result must not depend on the delta tuning parameter."""
+        graph = weighted_corpus["road"]
+        source = int(pick_sources(graph, 1)[0])
+        d_small = framework.sssp(graph, source, RunContext(delta=4))
+        d_large = framework.sssp(graph, source, RunContext(delta=1024))
+        assert np.array_equal(
+            np.nan_to_num(d_small, posinf=-1.0), np.nan_to_num(d_large, posinf=-1.0)
+        )
+
+    def test_optimized_mode_matches_baseline(self, framework, weighted_corpus):
+        graph = weighted_corpus["urand"]
+        source = int(pick_sources(graph, 1)[0])
+        base = framework.sssp(graph, source, RunContext(mode=Mode.BASELINE, graph_name="urand"))
+        opt = framework.sssp(graph, source, RunContext(mode=Mode.OPTIMIZED, graph_name="urand"))
+        assert np.array_equal(
+            np.nan_to_num(base, posinf=-1.0), np.nan_to_num(opt, posinf=-1.0)
+        )

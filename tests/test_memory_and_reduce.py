@@ -1,0 +1,87 @@
+"""Tests for the memory-footprint estimates and matrix row reduction."""
+
+import numpy as np
+import pytest
+
+from repro.core.memory import INDEX_WIDTH, csr_bytes, framework_footprints
+from repro.semiring import MAX, MIN, PLUS, Matrix, reduce_rows
+from repro.graphs import CSRGraph
+
+
+class TestFootprints:
+    def test_suitesparse_doubles_adjacency(self, corpus):
+        graph = corpus["kron"]
+        estimates = {e.framework: e for e in framework_footprints(graph)}
+        assert (
+            estimates["suitesparse"].adjacency_bytes
+            == 2 * estimates["gap"].adjacency_bytes
+        )
+
+    def test_directed_counts_both_orientations(self, corpus):
+        directed = corpus["twitter"]
+        single = csr_bytes(directed, index_bytes=4)
+        assert single.adjacency_bytes == 2 * directed.num_edges * 4
+
+    def test_undirected_counts_once(self, corpus):
+        undirected = corpus["kron"]
+        single = csr_bytes(undirected, index_bytes=4)
+        assert single.adjacency_bytes == undirected.num_edges * 4
+
+    def test_weights_add_when_requested(self, corpus):
+        graph = corpus["road"]
+        plain = {e.framework: e for e in framework_footprints(graph, weighted=False)}
+        weighted = {e.framework: e for e in framework_footprints(graph, weighted=True)}
+        assert weighted["gap"].total_bytes > plain["gap"].total_bytes
+        assert plain["gap"].weight_bytes == 0
+
+    def test_all_frameworks_covered(self, corpus):
+        estimates = framework_footprints(corpus["urand"])
+        assert {e.framework for e in estimates} == set(INDEX_WIDTH)
+
+    def test_as_row_fields(self, corpus):
+        row = framework_footprints(corpus["urand"])[0].as_row()
+        assert "Total (MiB)" in row and "Index width" in row
+
+
+class TestReduceRows:
+    @pytest.fixture
+    def weighted_matrix(self):
+        graph = CSRGraph.from_arrays(
+            4,
+            np.array([0, 0, 2]),
+            np.array([1, 2, 3]),
+            np.array([5.0, 3.0, 7.0]),
+        )
+        return Matrix.from_graph(graph, use_weights=True)
+
+    def test_plus(self, weighted_matrix):
+        reduced = reduce_rows(weighted_matrix, PLUS)
+        assert reduced.indices().tolist() == [0, 2]
+        assert reduced.entries()[1].tolist() == [8.0, 7.0]
+
+    def test_min(self, weighted_matrix):
+        reduced = reduce_rows(weighted_matrix, MIN)
+        assert reduced.entries()[1].tolist() == [3.0, 7.0]
+
+    def test_max(self, weighted_matrix):
+        reduced = reduce_rows(weighted_matrix, MAX)
+        assert reduced.entries()[1].tolist() == [5.0, 7.0]
+
+    def test_empty_rows_absent(self, weighted_matrix):
+        reduced = reduce_rows(weighted_matrix, PLUS)
+        assert not bool(reduced.contains(np.array([1]))[0])
+
+    def test_iso_matrix_counts_degrees(self, corpus):
+        matrix = Matrix.from_graph(corpus["kron"])
+        reduced = reduce_rows(matrix, PLUS)
+        degrees = corpus["kron"].out_degrees
+        occupied = np.flatnonzero(degrees > 0)
+        assert np.array_equal(
+            reduced.entries()[1], degrees[occupied].astype(float)
+        )
+
+    def test_empty_matrix(self):
+        graph = CSRGraph.from_arrays(
+            3, np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        )
+        assert reduce_rows(Matrix.from_graph(graph), PLUS).nvals == 0

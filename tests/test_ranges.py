@@ -1,0 +1,91 @@
+"""Tests for the NWGraph-style range substrate."""
+
+import numpy as np
+
+from repro.ranges import (
+    AdjacencyView,
+    EdgeRange,
+    ExecutionPolicy,
+    count_if,
+    exclusive_scan,
+    for_each,
+    neighbor_range,
+    transform_reduce,
+)
+
+
+class TestAdjacencyView:
+    def test_outer_range_length(self, tiny_graph):
+        view = AdjacencyView.out_edges(tiny_graph)
+        assert len(view) == tiny_graph.num_vertices
+
+    def test_inner_ranges_match_graph(self, tiny_graph):
+        view = AdjacencyView.out_edges(tiny_graph)
+        for v in tiny_graph.vertices():
+            assert view[v].tolist() == tiny_graph.neighbors(v).tolist()
+
+    def test_in_edges_view(self, tiny_graph):
+        view = AdjacencyView.in_edges(tiny_graph)
+        assert set(view[2].tolist()) == {0, 1}
+
+    def test_iteration(self, tiny_graph):
+        view = AdjacencyView.out_edges(tiny_graph)
+        rows = list(view)
+        assert len(rows) == tiny_graph.num_vertices
+
+    def test_expand(self, tiny_graph):
+        view = AdjacencyView.out_edges(tiny_graph)
+        srcs, tgts = view.expand(np.array([0, 1]))
+        assert srcs.tolist() == [0, 0, 1]
+        assert tgts.tolist() == [1, 2, 2]
+
+    def test_expand_empty(self, tiny_graph):
+        view = AdjacencyView.out_edges(tiny_graph)
+        srcs, tgts = view.expand(np.array([4], dtype=np.int64))
+        assert srcs.size == tgts.size == 0
+
+    def test_expand_with_properties_unweighted(self, tiny_graph):
+        view = AdjacencyView.out_edges(tiny_graph)
+        _, _, weights = view.expand_with_properties(np.array([0]))
+        assert weights.tolist() == [1.0, 1.0]
+
+    def test_properties_weighted(self):
+        from repro.generators import build_graph, weighted_version
+
+        g = weighted_version(build_graph("road", scale=7))
+        view = AdjacencyView.out_edges(g)
+        v = int(np.flatnonzero(g.out_degrees > 0)[0])
+        assert np.array_equal(view.properties(v), g.neighbor_weights(v))
+
+    def test_neighbor_range_helper(self, tiny_graph):
+        assert neighbor_range(tiny_graph, 0).tolist() == [1, 2]
+
+
+class TestEdgeRange:
+    def test_length(self, tiny_graph):
+        assert len(EdgeRange(tiny_graph)) == tiny_graph.num_edges
+
+    def test_cyclic_blocks_partition(self, tiny_graph):
+        er = EdgeRange(tiny_graph)
+        total = sum(src.size for src, _ in er.cyclic_blocks(3))
+        assert total == len(er)
+
+
+class TestAlgorithms:
+    def test_transform_reduce(self):
+        assert transform_reduce([1, 2, 3], lambda x: x * 2) == 12
+
+    def test_transform_reduce_init(self):
+        assert transform_reduce([], lambda x: x, init=5.0) == 5.0
+
+    def test_for_each(self):
+        acc = []
+        for_each([1, 2], acc.append, policy=ExecutionPolicy.SEQ)
+        assert acc == [1, 2]
+
+    def test_exclusive_scan(self):
+        out = exclusive_scan(np.array([1.0, 2.0, 3.0]))
+        assert out.tolist() == [0.0, 1.0, 3.0]
+
+    def test_count_if(self):
+        assert count_if(np.array([1, -2, 3]), lambda v: v > 0) == 2

@@ -1,0 +1,53 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.core import BenchmarkSpec, run_suite
+from repro.core.report import markdown_table, results_to_markdown, write_markdown_report
+from repro.frameworks import KERNELS, Mode, get
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    spec = BenchmarkSpec(scale=8, trials={k: 1 for k in KERNELS})
+    return run_suite(
+        [get("gap"), get("gkc"), get("galois")],
+        ["kron"],
+        modes=[Mode.BASELINE, Mode.OPTIMIZED],
+        spec=spec,
+    )
+
+
+class TestMarkdownTable:
+    def test_basic(self):
+        text = markdown_table([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        lines = text.strip().splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | x |"
+
+    def test_empty(self):
+        assert markdown_table([]) == "(no rows)\n"
+
+
+class TestCampaignReport:
+    def test_contains_all_sections(self, small_campaign):
+        text = results_to_markdown(small_campaign, ["kron"])
+        assert "## Table IV" in text
+        assert "## Table V" in text
+        assert "## Shape agreement" in text
+        assert "### Work counters" in text
+
+    def test_table5_has_every_kernel(self, small_campaign):
+        text = results_to_markdown(small_campaign, ["kron"])
+        for label in ("BFS", "SSSP", "CC", "PR", "BC", "TC"):
+            assert label in text
+
+    def test_write_to_file(self, tmp_path, small_campaign):
+        path = tmp_path / "report.md"
+        write_markdown_report(small_campaign, ["kron"], path)
+        assert path.read_text(encoding="utf-8").startswith("# Campaign report")
+
+    def test_agreement_section_uses_paper_data(self, small_campaign):
+        text = results_to_markdown(small_campaign, ["kron"])
+        assert "direction agreement" in text

@@ -1,0 +1,123 @@
+"""Tests for the element-wise GraphBLAS operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionMismatchError
+from repro.semiring import (
+    MIN_OP,
+    PLUS_OP,
+    SECOND,
+    Vector,
+    apply_masked,
+    ewise_add,
+    ewise_mult,
+    extract,
+)
+
+
+def vec(n, entries):
+    idx = np.array(sorted(entries), dtype=np.int64)
+    vals = np.array([entries[i] for i in sorted(entries)])
+    return Vector.from_entries(n, idx, vals)
+
+
+class TestEwiseAdd:
+    def test_union_semantics(self):
+        u = vec(6, {0: 1.0, 2: 3.0})
+        v = vec(6, {2: 10.0, 4: 5.0})
+        w = ewise_add(u, v, PLUS_OP)
+        assert dict(zip(*[a.tolist() for a in w.entries()])) == {
+            0: 1.0,
+            2: 13.0,
+            4: 5.0,
+        }
+
+    def test_min_combine(self):
+        u = vec(4, {1: 9.0})
+        v = vec(4, {1: 2.0})
+        w = ewise_add(u, v, MIN_OP)
+        assert w.values_at(np.array([1]))[0] == 2.0
+
+    def test_empty_operand(self):
+        u = vec(4, {0: 1.0})
+        w = ewise_add(u, Vector.empty(4), PLUS_OP)
+        assert w.indices().tolist() == [0]
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            ewise_add(Vector.empty(3), Vector.empty(4), PLUS_OP)
+
+    @given(
+        st.dictionaries(st.integers(0, 9), st.floats(-10, 10), max_size=10),
+        st.dictionaries(st.integers(0, 9), st.floats(-10, 10), max_size=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_union_structure(self, a, b):
+        w = ewise_add(vec(10, a), vec(10, b), PLUS_OP)
+        assert set(w.indices().tolist()) == set(a) | set(b)
+
+
+class TestEwiseMult:
+    def test_intersection_semantics(self):
+        u = vec(6, {0: 1.0, 2: 3.0})
+        v = vec(6, {2: 10.0, 4: 5.0})
+        w = ewise_mult(u, v, PLUS_OP)
+        assert w.indices().tolist() == [2]
+        assert w.entries()[1].tolist() == [13.0]
+
+    def test_disjoint_supports(self):
+        w = ewise_mult(vec(4, {0: 1.0}), vec(4, {1: 1.0}), PLUS_OP)
+        assert w.nvals == 0
+
+    def test_second_takes_right_value(self):
+        w = ewise_mult(vec(4, {2: 7.0}), vec(4, {2: 9.0}), SECOND)
+        assert w.entries()[1].tolist() == [9.0]
+
+    @given(
+        st.dictionaries(st.integers(0, 9), st.floats(-10, 10), max_size=10),
+        st.dictionaries(st.integers(0, 9), st.floats(-10, 10), max_size=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_intersection_structure(self, a, b):
+        w = ewise_mult(vec(10, a), vec(10, b), PLUS_OP)
+        assert set(w.indices().tolist()) == set(a) & set(b)
+
+
+class TestExtract:
+    def test_basic(self):
+        u = vec(6, {1: 10.0, 3: 30.0})
+        w = extract(u, np.array([3, 0, 1]))
+        assert w.n == 3
+        assert dict(zip(*[a.tolist() for a in w.entries()])) == {0: 30.0, 2: 10.0}
+
+    def test_absent_stays_absent(self):
+        u = vec(6, {1: 10.0})
+        w = extract(u, np.array([0, 2]))
+        assert w.nvals == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(DimensionMismatchError):
+            extract(vec(3, {0: 1.0}), np.array([5]))
+
+
+class TestApplyMasked:
+    def test_mask_restricts(self):
+        u = vec(5, {0: 1.0, 1: 2.0, 2: 3.0})
+        mask = vec(5, {1: 1.0})
+        w = apply_masked(u, lambda x: x * 10, mask)
+        assert w.indices().tolist() == [1]
+        assert w.entries()[1].tolist() == [20.0]
+
+    def test_complement(self):
+        u = vec(5, {0: 1.0, 1: 2.0})
+        mask = vec(5, {1: 1.0})
+        w = apply_masked(u, lambda x: -x, mask, complement=True)
+        assert w.indices().tolist() == [0]
+        assert w.entries()[1].tolist() == [-1.0]
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            apply_masked(vec(3, {}), lambda x: x, vec(4, {}))

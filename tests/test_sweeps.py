@@ -1,0 +1,61 @@
+"""Tests for the parameter-sweep library API."""
+
+import numpy as np
+
+from repro.core.sweeps import delta_sweep, direction_threshold_sweep, scale_sweep
+from repro.frameworks import get
+
+
+class TestDeltaSweep:
+    def test_rows_cover_requested_deltas(self, corpus):
+        rows = delta_sweep(corpus["road"], deltas=(8, 128), repeats=1)
+        assert [row["delta"] for row in rows] == [8, 128]
+        assert all(row["seconds"] > 0 for row in rows)
+
+    def test_small_delta_more_rounds_on_road(self, corpus):
+        rows = delta_sweep(corpus["road"], deltas=(4, 1024), repeats=1)
+        by_delta = {row["delta"]: row for row in rows}
+        assert by_delta[4]["rounds"] > by_delta[1024]["rounds"]
+
+    def test_accepts_preweighted_graph(self, weighted_corpus):
+        rows = delta_sweep(weighted_corpus["kron"], deltas=(16,), repeats=1)
+        assert rows[0]["edges"] > 0
+
+
+class TestDirectionSweep:
+    def test_pure_push_never_switches(self, corpus):
+        # alpha=0 disables the bottom-up switch: pure top-down traversal.
+        rows = direction_threshold_sweep(corpus["kron"], alphas=(0,), repeats=1)
+        assert rows[0]["switched"] == 0
+
+    def test_hybrid_examines_fewer_edges_than_push(self, corpus):
+        rows = direction_threshold_sweep(corpus["kron"], alphas=(0, 15), repeats=1)
+        by_alpha = {row["alpha"]: row for row in rows}
+        assert by_alpha[15]["edges"] < by_alpha[0]["edges"]
+
+    def test_all_settings_traverse_same_graph(self, corpus):
+        # Sanity: the sweep itself must not change reachability.
+        graph = corpus["urand"]
+        from repro.core.spec import SourcePicker
+        from repro.gapbs.bfs import direction_optimizing_bfs
+
+        source = SourcePicker(graph, 0).next_source()
+        a = direction_optimizing_bfs(graph, source, alpha=0)
+        b = direction_optimizing_bfs(graph, source, alpha=256)
+        assert np.array_equal(a >= 0, b >= 0)
+
+
+class TestScaleSweep:
+    def test_rows_grow_with_scale(self):
+        gap = get("gap")
+        rows = scale_sweep(
+            "kron", lambda g: gap.connected_components(g), scales=(8, 10), repeats=1
+        )
+        assert rows[0]["vertices"] < rows[1]["vertices"]
+        assert rows[0]["edges"] < rows[1]["edges"]
+
+    def test_kernel_receives_each_graph(self):
+        seen = []
+        scale_sweep("urand", lambda g: seen.append(g.num_vertices), scales=(8, 9), repeats=1)
+        # repeats=1 means one invocation per scale.
+        assert seen == [256, 512]

@@ -1,0 +1,106 @@
+"""Tests for repro.graphs.transforms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs import (
+    CSRGraph,
+    degree_order_permutation,
+    induced_subgraph,
+    lower_triangle_counts,
+    permute,
+    relabel_by_degree,
+)
+
+
+class TestPermute:
+    def test_identity(self, tiny_graph):
+        same = permute(tiny_graph, np.arange(7))
+        assert same == tiny_graph
+
+    def test_edge_follows_permutation(self, tiny_graph):
+        perm = np.array([1, 0, 2, 3, 4, 5, 6])
+        g = permute(tiny_graph, perm)
+        assert g.has_edge(1, 0)  # was 0 -> 1
+
+    def test_weights_travel(self):
+        g = CSRGraph.from_arrays(
+            3, np.array([0, 1]), np.array([1, 2]), np.array([5.0, 7.0])
+        )
+        p = permute(g, np.array([2, 1, 0]))
+        # edge 0->1 (w=5) becomes 2->1; edge 1->2 (w=7) becomes 1->0
+        assert p.neighbor_weights(2).tolist() == [5.0]
+        assert p.neighbor_weights(1).tolist() == [7.0]
+
+    def test_degree_multiset_preserved(self, corpus_graph):
+        _, graph = corpus_graph
+        perm = degree_order_permutation(graph)
+        relabeled = permute(graph, perm)
+        assert sorted(graph.out_degrees.tolist()) == sorted(
+            relabeled.out_degrees.tolist()
+        )
+
+
+class TestDegreeOrder:
+    def test_ascending_order(self, corpus_graph):
+        _, graph = corpus_graph
+        relabeled, _ = relabel_by_degree(graph, ascending=True)
+        degrees = relabeled.out_degrees
+        # The *original* degree of the vertex placed at position i must be
+        # non-decreasing; the relabeled graph's own degrees are identical to
+        # the originals carried along.
+        perm = degree_order_permutation(graph, ascending=True)
+        original_sorted = graph.out_degrees[np.argsort(perm)]
+        assert (np.diff(original_sorted) >= 0).all()
+        del degrees
+
+    def test_descending_reverses(self, corpus_graph):
+        _, graph = corpus_graph
+        asc = degree_order_permutation(graph, ascending=True)
+        desc = degree_order_permutation(graph, ascending=False)
+        # The highest-degree vertex gets the largest id ascending, smallest
+        # descending.
+        top = int(np.argmax(graph.out_degrees))
+        assert asc[top] > desc[top] or graph.num_vertices == 1
+
+    def test_is_permutation(self, corpus_graph):
+        _, graph = corpus_graph
+        perm = degree_order_permutation(graph)
+        assert np.array_equal(np.sort(perm), np.arange(graph.num_vertices))
+
+
+class TestInducedSubgraph:
+    def test_simple(self, tiny_graph):
+        sub, mapping = induced_subgraph(tiny_graph, np.array([0, 1, 2]))
+        assert sub.num_vertices == 3
+        assert mapping.tolist() == [0, 1, 2]
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2) and sub.has_edge(0, 2)
+
+    def test_drops_external_edges(self, tiny_graph):
+        sub, _ = induced_subgraph(tiny_graph, np.array([0, 3]))
+        # only 3 -> 0 survives
+        assert sub.num_edges == 1
+        assert sub.has_edge(1, 0)
+
+    def test_out_of_range_rejected(self, tiny_graph):
+        with pytest.raises(GraphFormatError):
+            induced_subgraph(tiny_graph, np.array([99]))
+
+    def test_undirected_stays_symmetric(self, triangle_graph):
+        sub, _ = induced_subgraph(triangle_graph, np.array([0, 1, 2]))
+        src, dst = sub.edge_array()
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert all((b, a) in pairs for a, b in pairs)
+
+
+class TestLowerTriangle:
+    def test_counts(self, triangle_graph):
+        counts = lower_triangle_counts(triangle_graph)
+        # vertex 0 has no smaller neighbor; vertex 2 has 0 and 1.
+        assert counts[0] == 0
+        assert counts[2] == 2
+
+    def test_total_is_half_of_edges(self, triangle_graph):
+        counts = lower_triangle_counts(triangle_graph)
+        assert counts.sum() == triangle_graph.num_undirected_edges

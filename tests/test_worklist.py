@@ -1,0 +1,147 @@
+"""Tests for the Galois-style worklist substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import counters
+from repro.worklist import (
+    ChunkedWorklist,
+    OrderedByIntegerMetric,
+    for_each_eager,
+    for_each_round,
+)
+
+
+class TestChunkedWorklist:
+    def test_push_pop(self):
+        wl = ChunkedWorklist(chunk_size=4)
+        wl.push(np.array([1, 2, 3]))
+        chunk = wl.pop()
+        assert chunk.tolist() == [1, 2, 3]
+        assert wl.pop() is None
+
+    def test_large_push_is_split(self):
+        wl = ChunkedWorklist(chunk_size=2)
+        wl.push(np.arange(5))
+        sizes = []
+        while (chunk := wl.pop()) is not None:
+            sizes.append(chunk.size)
+        assert sum(sizes) == 5
+        assert max(sizes) <= 2 + 2  # pop may merge up to one extra chunk
+
+    def test_small_pushes_coalesce_on_pop(self):
+        wl = ChunkedWorklist(chunk_size=100)
+        for i in range(10):
+            wl.push(np.array([i]))
+        chunk = wl.pop()
+        assert chunk.size == 10
+
+    def test_drain_all(self):
+        wl = ChunkedWorklist()
+        wl.push(np.array([1]))
+        wl.push(np.array([2, 3]))
+        assert sorted(wl.drain_all().tolist()) == [1, 2, 3]
+        assert not wl
+
+    def test_len(self):
+        wl = ChunkedWorklist()
+        wl.push(np.arange(7))
+        assert len(wl) == 7
+
+    def test_empty_push_ignored(self):
+        wl = ChunkedWorklist()
+        wl.push(np.empty(0, dtype=np.int64))
+        assert not wl
+
+
+class TestOBIM:
+    def test_priority_order(self):
+        obim = OrderedByIntegerMetric()
+        obim.push(np.array([10]), np.array([2]))
+        obim.push(np.array([20]), np.array([0]))
+        obim.push(np.array([30]), np.array([1]))
+        order = []
+        while (popped := obim.pop_chunk()) is not None:
+            order.append(popped[0])
+        assert order == [0, 1, 2]
+
+    def test_drain_priority(self):
+        obim = OrderedByIntegerMetric()
+        obim.push(np.array([1, 2]), np.array([5, 5]))
+        obim.push(np.array([3]), np.array([7]))
+        assert sorted(obim.drain_priority(5).tolist()) == [1, 2]
+        assert obim.current_priority() == 7
+
+    def test_same_priority_grouped(self):
+        obim = OrderedByIntegerMetric()
+        obim.push(np.array([1, 2, 3]), np.array([4, 4, 9]))
+        priority, chunk = obim.pop_chunk()
+        assert priority == 4
+        assert sorted(chunk.tolist()) == [1, 2]
+
+    def test_empty(self):
+        obim = OrderedByIntegerMetric()
+        assert obim.current_priority() is None
+        assert obim.pop_chunk() is None
+        assert not obim
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100), st.integers(0, 9)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pops_never_decrease_below_prior_min(self, items):
+        """Priorities pop in non-decreasing order when nothing new is pushed."""
+        obim = OrderedByIntegerMetric()
+        vertices = np.array([v for v, _ in items], dtype=np.int64)
+        priorities = np.array([p for _, p in items], dtype=np.int64)
+        obim.push(vertices, priorities)
+        seen = []
+        while (popped := obim.pop_chunk()) is not None:
+            seen.append(popped[0])
+        assert seen == sorted(seen)
+
+
+class TestExecutors:
+    def test_round_executor_counts_rounds(self):
+        # Chain activation: 0 -> 1 -> 2 -> stop.
+        state = {"next": [np.array([1]), np.array([2]), np.empty(0, dtype=np.int64)]}
+
+        def operator(active):
+            return state["next"].pop(0)
+
+        with counters.counting() as work:
+            rounds = for_each_round(np.array([0]), operator)
+        assert rounds == 3
+        assert work.rounds == 3
+
+    def test_round_executor_deduplicates_within_round(self):
+        seen = []
+
+        def operator(active):
+            seen.append(active.tolist())
+            return np.empty(0, dtype=np.int64)
+
+        for_each_round(np.array([3, 3, 1]), operator)
+        assert seen == [[1, 3]]
+
+    def test_eager_executor_processes_pushes(self):
+        visited = []
+
+        def operator(chunk):
+            visited.extend(chunk.tolist())
+            if len(visited) < 4:
+                return np.array([len(visited) + 10])
+            return np.empty(0, dtype=np.int64)
+
+        chunks = for_each_eager(np.array([0]), operator, chunk_size=1)
+        assert chunks == 4
+        assert visited == [0, 11, 12, 13]
+
+    def test_eager_executor_empty_initial(self):
+        assert for_each_eager(np.empty(0, dtype=np.int64), lambda c: c) == 0

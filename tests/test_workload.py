@@ -1,0 +1,75 @@
+"""Tests for the workload-characterization traces."""
+
+import numpy as np
+
+from repro.core.workload import FrontierTrace, RoundTrace, sparkline, trace_bfs
+from repro.frameworks import get
+
+
+class TestTraceBFS:
+    def test_rounds_match_bfs_depth(self, corpus):
+        graph = corpus["road"]
+        source = int(np.flatnonzero(graph.out_degrees > 0)[0])
+        trace = trace_bfs(graph, source)
+        # Round count equals the eccentricity of the source + 1 (the last
+        # round discovers nothing new but drains the frontier).
+        from repro.core.verify import reference_bfs_depths
+
+        depths = reference_bfs_depths(graph, source)
+        assert trace.num_rounds == int(depths.max()) + 1
+
+    def test_discovered_sums_to_reachable(self, corpus):
+        graph = corpus["kron"]
+        source = int(np.flatnonzero(graph.out_degrees > 0)[0])
+        trace = trace_bfs(graph, source)
+        parents = get("gap").bfs(graph, source)
+        reachable = int((parents >= 0).sum())
+        assert 1 + sum(r.discovered for r in trace.rounds) == reachable
+
+    def test_topology_contrast(self, corpus):
+        """Road: many tiny rounds.  Kron: few rounds with one huge spike."""
+        road_src = int(np.flatnonzero(corpus["road"].out_degrees > 0)[0])
+        kron_src = int(np.flatnonzero(corpus["kron"].out_degrees > 0)[0])
+        road_trace = trace_bfs(corpus["road"], road_src)
+        kron_trace = trace_bfs(corpus["kron"], kron_src)
+        assert road_trace.num_rounds > 5 * kron_trace.num_rounds
+        assert (
+            kron_trace.peak_frontier / corpus["kron"].num_vertices
+            > road_trace.peak_frontier / corpus["road"].num_vertices
+        )
+
+    def test_power_law_gets_pull_rounds(self, corpus):
+        """Direction optimization fires on the scale-free graph only."""
+        kron_src = int(np.argmax(corpus["kron"].out_degrees))
+        assert trace_bfs(corpus["kron"], kron_src).pull_rounds > 0
+
+    def test_frontier_sizes_series(self, corpus):
+        graph = corpus["kron"]
+        source = int(np.flatnonzero(graph.out_degrees > 0)[0])
+        trace = trace_bfs(graph, source)
+        assert trace.frontier_sizes()[0] == 1
+
+    def test_isolated_source(self):
+        from repro.graphs import CSRGraph
+
+        graph = CSRGraph.from_arrays(3, np.array([0]), np.array([1]))
+        trace = trace_bfs(graph, 2)
+        assert trace.num_rounds == 1
+        assert trace.rounds[0].discovered == 0
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_levels(self):
+        line = sparkline([1, 5, 10])
+        assert len(line) == 3
+        assert line[0] < line[1] < line[2] or line[2] == "@"
+
+    def test_downsampling_preserves_length(self):
+        line = sparkline(list(range(200)), width=50)
+        assert len(line) == 50
+
+    def test_all_zero(self):
+        assert sparkline([0, 0, 0]) == "   "
