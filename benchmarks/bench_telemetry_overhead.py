@@ -1,0 +1,115 @@
+"""Telemetry overhead bound: tracing must not perturb what it measures.
+
+The runner's contract (see ``docs/TELEMETRY.md``) is that span bookkeeping
+stays out of the timed region: per-trial records are materialized after
+the trial loop, and JSONL emission happens once per cell.  This bench pins
+that contract with the worst case — a no-op kernel, where any telemetry
+work leaking into the timed region is the largest possible fraction of
+the measured time.  A full telemetry setup (in-memory spans + JSONL sink)
+must leave the *measured* per-trial kernel time within 5% of a run with
+no telemetry attached; a regression that moves record building or sink
+writes inside the trial loop shows up here as a ~30% jump.
+
+The per-cell emission cost (which is off the timed path by design) is
+bounded separately, in absolute terms, so trace serialization cannot
+silently balloon either.
+
+Run with ``pytest benchmarks/bench_telemetry_overhead.py`` (tier2; not
+part of the tier-1 suite).
+"""
+
+import dataclasses
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import BenchmarkSpec, GraphCase, Telemetry, run_cell
+from repro.frameworks import Mode, RunContext
+from repro.gapbs import GAPReference
+
+TRIALS_PER_CELL = 256
+REPEATS = 11
+OVERHEAD_BOUND = 0.05
+EMISSION_BUDGET_SECONDS = 0.005  # per cell, absolute
+
+
+class NoOpFramework(GAPReference):
+    """Framework whose kernels return instantly; isolates harness cost."""
+
+    attributes = dataclasses.replace(GAPReference.attributes, name="noop")
+
+    def connected_components(self, graph, ctx=RunContext()):
+        return np.zeros(graph.num_vertices, dtype=np.int64)
+
+
+def _measure(case, spec, telemetry_factory):
+    """(median mean-trial-seconds, median cell wall) over paired repeats."""
+    import time
+
+    trial_means = []
+    walls = []
+    for _ in range(REPEATS):
+        telemetry = telemetry_factory()
+        start = time.perf_counter()
+        result = run_cell(NoOpFramework(), "cc", case, Mode.BASELINE, spec,
+                          telemetry=telemetry)
+        walls.append(time.perf_counter() - start)
+        if telemetry is not None:
+            telemetry.close()
+        trial_means.append(result.seconds)
+    return (
+        sorted(trial_means)[len(trial_means) // 2],
+        sorted(walls)[len(walls) // 2],
+    )
+
+
+@pytest.fixture(scope="module")
+def samples():
+    case = GraphCase.build("kron", scale=8)
+    spec = BenchmarkSpec(
+        scale=8, trials={"cc": TRIALS_PER_CELL}, verify=False
+    )
+    traced_factory = lambda: Telemetry(sink=io.StringIO())
+    _measure(case, spec, lambda: None)  # warm-up, discarded
+    bare_trial, bare_wall = _measure(case, spec, lambda: None)
+    traced_trial, traced_wall = _measure(case, spec, traced_factory)
+    return bare_trial, bare_wall, traced_trial, traced_wall
+
+
+@pytest.mark.tier2
+def test_timed_region_overhead_below_bound(samples):
+    """Telemetry must not inflate the measured kernel time by >5%."""
+    bare_trial, _, traced_trial, _ = samples
+    overhead = (traced_trial - bare_trial) / bare_trial
+    assert overhead < OVERHEAD_BOUND, (
+        f"telemetry inflates measured trial time by {overhead:.1%} "
+        f"(bound {OVERHEAD_BOUND:.0%}): bare {bare_trial * 1e6:.2f} us vs "
+        f"traced {traced_trial * 1e6:.2f} us per trial — telemetry work has "
+        "leaked inside the timed region"
+    )
+
+
+@pytest.mark.tier2
+def test_per_cell_emission_cost_bounded(samples):
+    """The off-path span build + JSONL write stays a small constant."""
+    _, bare_wall, _, traced_wall = samples
+    emission = traced_wall - bare_wall
+    assert emission < EMISSION_BUDGET_SECONDS, (
+        f"per-cell telemetry emission cost {emission * 1e3:.2f} ms exceeds "
+        f"{EMISSION_BUDGET_SECONDS * 1e3:.0f} ms budget"
+    )
+
+
+@pytest.mark.tier2
+def test_trace_records_do_not_grow_with_trials():
+    """One JSONL record per cell regardless of trial count (emission is
+    per-cell, so sink cost cannot scale into the trial loop)."""
+    case = GraphCase.build("kron", scale=8)
+    stream = io.StringIO()
+    telemetry = Telemetry(sink=stream)
+    spec = BenchmarkSpec(scale=8, trials={"cc": 16}, verify=False)
+    run_cell(NoOpFramework(), "cc", case, Mode.BASELINE, spec,
+             telemetry=telemetry)
+    lines = [line for line in stream.getvalue().splitlines() if line.strip()]
+    assert len(lines) == 1

@@ -4,7 +4,8 @@ Subcommands::
 
     python -m repro run [--scale N] [--graphs a,b] [--kernels x,y]
                         [--frameworks f,g] [--modes baseline,optimized]
-                        [--out results.json]
+                        [--out results.json] [--strict] [--timeout S]
+                        [--trace trace.jsonl] [--track-memory]
     python -m repro tables --results results.json
     python -m repro graphs [--scale N]          # Table I
     python -m repro compare --results results.json
@@ -23,10 +24,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .core import BenchmarkSpec, ResultSet, run_suite
+from .core import BenchmarkSpec, ResultSet, Telemetry, run_suite
+from .errors import BenchmarkConfigError
 from .core.comparison import agreement_summary, compare_table5, framework_rank_correlation
 from .core.report import write_markdown_report
-from .core.tables import render, table1_rows, table4_rows, table5_rows
+from .core.tables import failure_rows, render, table1_rows, table4_rows, table5_rows
 from .frameworks import EXTENDED_FRAMEWORK_NAMES, KERNELS, Mode, get
 from .generators import DEFAULT_SCALE, GRAPH_NAMES, build_corpus, build_graph, weighted_version
 from .graphs import write_edge_list
@@ -48,21 +50,49 @@ def _cmd_run(args: argparse.Namespace) -> int:
     graphs = _split(args.graphs, GRAPH_NAMES, "graph")
     kernels = _split(args.kernels, KERNELS, "kernel")
     modes = [Mode(mode) for mode in args.modes.split(",")]
-    spec = BenchmarkSpec(scale=args.scale)
-    results = run_suite(
-        frameworks,
-        graphs,
-        kernels=kernels,
-        modes=modes,
-        spec=spec,
-        progress=lambda label: print(f"\r  {label:<50}", end="", flush=True),
+    try:
+        spec = BenchmarkSpec(scale=args.scale, trial_timeout=args.timeout)
+    except BenchmarkConfigError as exc:
+        raise SystemExit(f"invalid run configuration: {exc}")
+    try:
+        telemetry = Telemetry(
+            sink=args.trace if args.trace else None,
+            track_memory=args.track_memory,
+        )
+    except OSError as exc:
+        raise SystemExit(f"cannot open trace file {args.trace}: {exc}")
+    try:
+        results = run_suite(
+            frameworks,
+            graphs,
+            kernels=kernels,
+            modes=modes,
+            spec=spec,
+            progress=lambda label: print(f"\r  {label:<50}", end="", flush=True),
+            telemetry=telemetry,
+            strict=args.strict,
+        )
+    except Exception as exc:
+        # --strict fail-fast: the first broken cell aborts the campaign.
+        print(f"\nsuite aborted (--strict): {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        telemetry.close()
+    failures = results.failures()
+    verified_note = "outputs verified" if not failures else "ok cells verified"
+    print(
+        f"\r{len(results)} cells measured, {len(failures)} failed "
+        f"({verified_note})." + " " * 30
     )
-    print(f"\r{len(results)} cells measured (outputs verified)." + " " * 30)
+    if args.trace:
+        print(f"telemetry trace written to {args.trace}")
     if args.out:
         results.save_json(args.out)
         print(f"saved to {args.out}")
     print(render(table4_rows(results, graphs), "Table IV"))
     print(render(table5_rows(results, graphs), "Table V"))
+    if failures:
+        print(render(failure_rows(results), "Failures"))
     return 0
 
 
@@ -125,6 +155,32 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--frameworks", default=",".join(EXTENDED_FRAMEWORK_NAMES[:6]))
     run_parser.add_argument("--modes", default="baseline,optimized")
     run_parser.add_argument("--out", default=None)
+    run_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="abort the campaign on the first failing cell (default: record "
+        "the failure and keep going)",
+    )
+    run_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-trial wall-clock deadline; an over-budget trial becomes a "
+        "recorded timeout",
+    )
+    run_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="stream per-cell telemetry spans to this JSONL file",
+    )
+    run_parser.add_argument(
+        "--track-memory",
+        action="store_true",
+        help="record peak heap allocation of each cell's first trial "
+        "(tracemalloc; distorts that trial's timing)",
+    )
     run_parser.set_defaults(fn=_cmd_run)
 
     tables_parser = sub.add_parser("tables", help="render tables from saved results")

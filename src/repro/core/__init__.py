@@ -6,6 +6,7 @@ Submodules:
 * ``counters`` — machine-independent work metrics.
 * ``spec`` — the GAP benchmark rules (trials, sources, parameters).
 * ``verify`` — per-kernel output verification oracles.
+* ``telemetry`` — span tracing, JSONL sinks, per-trial deadlines.
 * ``runner`` — executes kernels under the Baseline/Optimized rule sets.
 * ``results`` / ``tables`` — result records and Table I–V renderers.
 """
@@ -16,6 +17,7 @@ from .results import ResultSet, RunResult
 from .runner import GraphCase, run_cell, run_suite
 from .spec import BenchmarkSpec, SourcePicker
 from .sweeps import delta_sweep, direction_threshold_sweep, scale_sweep
+from .telemetry import JsonlSink, Span, Telemetry, TrialDeadline, read_trace
 from .workload import FrontierTrace, sparkline, trace_bfs
 
 __all__ = [
@@ -23,12 +25,17 @@ __all__ = [
     "Bitmap",
     "FrontierTrace",
     "GraphCase",
+    "JsonlSink",
     "ResultSet",
     "RunResult",
     "SourcePicker",
+    "Span",
+    "Telemetry",
+    "TrialDeadline",
     "counters",
     "delta_sweep",
     "direction_threshold_sweep",
+    "read_trace",
     "run_cell",
     "run_suite",
     "scale_sweep",

@@ -11,11 +11,21 @@ can sit alongside the timing tables.
 
 from __future__ import annotations
 
+import contextlib
+import tracemalloc
 from dataclasses import dataclass
+from typing import Iterator
 
 from ..graphs import CSRGraph
 
-__all__ = ["FootprintEstimate", "csr_bytes", "framework_footprints", "INDEX_WIDTH"]
+__all__ = [
+    "FootprintEstimate",
+    "PeakMemory",
+    "csr_bytes",
+    "framework_footprints",
+    "track_peak_memory",
+    "INDEX_WIDTH",
+]
 
 # Index width in bytes per framework (the paper's Section V discussion).
 INDEX_WIDTH: dict[str, int] = {
@@ -29,6 +39,39 @@ INDEX_WIDTH: dict[str, int] = {
 }
 
 OFFSET_BYTES = 8  # row offsets are 64-bit everywhere (edge counts overflow 32-bit)
+
+
+@dataclass
+class PeakMemory:
+    """Measured peak Python heap allocation over a tracked block."""
+
+    peak_bytes: int = 0
+
+
+@contextlib.contextmanager
+def track_peak_memory() -> Iterator[PeakMemory]:
+    """Measure peak heap allocation inside the block via ``tracemalloc``.
+
+    The static estimates below model what the real C++ frameworks would
+    allocate; this probe observes what the reproduction *actually* peaks
+    at while a kernel runs (telemetry's ``peak_mem_bytes``).  Nested use
+    is safe: an inner block resets only the peak, not the tracer, so each
+    block reports the peak reached during its own extent.  tracemalloc
+    slows allocation, so the runner only arms this when asked.
+    """
+    measurement = PeakMemory()
+    started_here = not tracemalloc.is_tracing()
+    if started_here:
+        tracemalloc.start()
+    else:
+        tracemalloc.reset_peak()
+    try:
+        yield measurement
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        measurement.peak_bytes = int(peak)
+        if started_here:
+            tracemalloc.stop()
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,13 @@ from pathlib import Path
 from ..frameworks.base import KERNELS, Mode
 from .comparison import agreement_summary, compare_table5, framework_rank_correlation
 from .results import ResultSet
-from .tables import KERNEL_LABELS, table4_rows, table5_rows
+from .tables import (
+    KERNEL_LABELS,
+    failure_rows,
+    table4_rows,
+    table5_rows,
+    trial_statistics_rows,
+)
 
 __all__ = ["markdown_table", "results_to_markdown", "write_markdown_report"]
 
@@ -64,6 +70,16 @@ def results_to_markdown(results: ResultSet, graphs: list[str]) -> str:
     sections.append("## Table V — speedup over the GAP reference (percent)\n")
     sections.append(markdown_table(table5_rows(results, graphs)))
 
+    failures = failure_rows(results)
+    if failures:
+        sections.append("## Failures\n")
+        sections.append(
+            f"{len(failures)} cell(s) did not complete; they are excluded "
+            "from the tables above (see docs/TELEMETRY.md for how to read "
+            "this table).\n"
+        )
+        sections.append(markdown_table(failures))
+
     comparisons = compare_table5(results)
     if comparisons:
         summary = agreement_summary(comparisons)
@@ -81,6 +97,11 @@ def results_to_markdown(results: ResultSet, graphs: list[str]) -> str:
             f"{k} {v:+.2f}" for k, v in correlations.items()
         )
         sections.append(f"- Spearman rank correlation: {per_framework}\n")
+
+    stats = trial_statistics_rows(results)
+    if stats:
+        sections.append("## Trial statistics (p50 / p95 / CV per cell)\n")
+        sections.append(markdown_table(stats))
 
     sections.append(_work_appendix(results, graphs))
     return "\n".join(sections)

@@ -5,6 +5,11 @@ mode) cell — the unit of Tables IV and V.  Each record carries per-trial
 timings, the machine-independent work counters, and the verification
 status, so the table renderers and EXPERIMENTS.md generator need nothing
 else.
+
+A cell that crashed or overran its deadline is still a record: ``status``
+is ``"error"`` / ``"timeout"`` (with the exception in ``error``) instead
+of ``"ok"``, and ``trial_seconds`` holds whatever trials completed.  The
+table renderers skip non-ok cells; the failure table reports them.
 """
 
 from __future__ import annotations
@@ -33,16 +38,41 @@ class RunResult:
     rounds: int = 0
     iterations: int = 0
     extras: dict[str, float] = field(default_factory=dict)
+    status: str = "ok"
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when the cell ran to completion (status ``"ok"``)."""
+        return self.status == "ok"
 
     @property
     def seconds(self) -> float:
-        """Average trial time — GAP's reported statistic."""
+        """Average trial time — GAP's reported statistic (NaN if no trial)."""
+        if not self.trial_seconds:
+            return float("nan")
         return statistics.fmean(self.trial_seconds)
 
     @property
     def best_seconds(self) -> float:
-        """Fastest trial."""
+        """Fastest trial (NaN if no trial completed)."""
+        if not self.trial_seconds:
+            return float("nan")
         return min(self.trial_seconds)
+
+    @property
+    def p50_seconds(self) -> float:
+        """Median trial time."""
+        from .telemetry import quantile
+
+        return quantile(self.trial_seconds, 0.50)
+
+    @property
+    def p95_seconds(self) -> float:
+        """95th-percentile trial time (interpolated)."""
+        from .telemetry import quantile
+
+        return quantile(self.trial_seconds, 0.95)
 
     @property
     def stddev_seconds(self) -> float:
@@ -70,12 +100,14 @@ class RunResult:
             "graph": self.graph,
             "mode": self.mode.value,
             "trial_seconds": self.trial_seconds,
-            "seconds": self.seconds,
+            "seconds": self.seconds if self.trial_seconds else None,
             "verified": self.verified,
             "edges_examined": self.edges_examined,
             "rounds": self.rounds,
             "iterations": self.iterations,
             "extras": self.extras,
+            "status": self.status,
+            "error": self.error,
         }
 
 
@@ -122,6 +154,10 @@ class ResultSet:
         matches = self.lookup(framework, kernel, graph, mode)
         return matches[0] if matches else None
 
+    def failures(self) -> list[RunResult]:
+        """All non-ok cells (errors and timeouts), in run order."""
+        return [result for result in self.results if not result.ok]
+
     def frameworks(self) -> list[str]:
         """Framework names present, in first-seen order."""
         seen: dict[str, None] = {}
@@ -151,6 +187,8 @@ class ResultSet:
                 rounds=int(item["rounds"]),
                 iterations=int(item["iterations"]),
                 extras=dict(item["extras"]),
+                status=str(item.get("status", "ok")),
+                error=str(item.get("error", "")),
             )
             for item in raw
         ]

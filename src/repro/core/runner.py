@@ -12,6 +12,14 @@ Timing follows the GAP rules as the paper applies them:
   average over trials;
 * every output is verified (once per cell) against the oracles in
   :mod:`repro.core.verify`.
+
+Every cell runs inside a telemetry span (see :mod:`repro.core.telemetry`):
+wall time per trial, prepare/kernel/verify phase times, a work-counter
+snapshot, optional peak memory, and an outcome status.  ``run_cell``
+raises on failure (callers that benchmark a single cell want the
+traceback); ``run_suite`` isolates faults by default — a crashing or
+hanging framework cell becomes a recorded ``error``/``timeout`` result
+and the campaign continues — unless ``strict=True`` restores fail-fast.
 """
 
 from __future__ import annotations
@@ -27,15 +35,28 @@ from ..generators import build_graph, weighted_version
 from ..graphs import CSRGraph
 from . import counters as counters_mod
 from . import verify
+from .memory import track_peak_memory
 from .results import ResultSet, RunResult
 from .spec import BenchmarkSpec, SourcePicker
+from .telemetry import STATUS_OK, Span, Telemetry, TrialDeadline
 
 __all__ = ["GraphCase", "run_cell", "run_suite"]
 
 
 @dataclass(frozen=True)
 class GraphCase:
-    """One benchmark input, with all untimed derived forms prebuilt."""
+    """One benchmark input, with all untimed derived forms prebuilt.
+
+    The three views obey explicit derivation rules (tested in
+    ``tests/test_harness.py``):
+
+    * ``weighted`` is ``graph`` plus GAP-style edge weights and always
+      preserves ``graph``'s direction; it is ``graph`` itself when the
+      input already carries weights.
+    * ``undirected`` is ``graph`` itself when the input is already
+      undirected (an alias, never a copy), else the symmetrized form.
+      It is always unweighted like ``graph`` (TC ignores weights).
+    """
 
     name: str
     graph: CSRGraph
@@ -44,8 +65,12 @@ class GraphCase:
 
     @classmethod
     def build(cls, name: str, scale: int, seed: int = 0) -> "GraphCase":
-        graph = build_graph(name, scale=scale, seed=seed)
-        weighted = weighted_version(graph, seed=seed)
+        return cls.from_graph(name, build_graph(name, scale=scale, seed=seed), seed=seed)
+
+    @classmethod
+    def from_graph(cls, name: str, graph: CSRGraph, seed: int = 0) -> "GraphCase":
+        """Derive the weighted/undirected views for an existing graph."""
+        weighted = graph if graph.is_weighted else weighted_version(graph, seed=seed)
         undirected = graph.to_undirected() if graph.directed else graph
         return cls(name, graph, weighted, undirected)
 
@@ -84,14 +109,72 @@ def _verify_output(
         verify.verify_tc(case.undirected, int(output))
 
 
+def _counters_snapshot(work: counters_mod.WorkCounters) -> dict[str, object]:
+    snapshot: dict[str, object] = {
+        "edges_examined": work.edges_examined,
+        "vertices_touched": work.vertices_touched,
+        "rounds": work.rounds,
+        "iterations": work.iterations,
+    }
+    if work.extras:
+        snapshot["extras"] = dict(work.extras)
+    return snapshot
+
+
+def _attach_cell_detail(
+    cell: Span,
+    prepare_seconds: float,
+    verify_seconds: float | None,
+    trial_seconds: list[float],
+    trial_sources: list[object],
+    planned_trials: int,
+    work: counters_mod.WorkCounters,
+    peak_bytes: int | None,
+) -> None:
+    """Materialize the per-trial records and phase sub-spans of one cell.
+
+    Runs *after* the trial loop (and on the failure path), so building the
+    trace costs the timed region nothing.  Completed trials are ``ok``;
+    when the loop stopped early, the trial the exception interrupted is
+    recorded with the cell's failure status and the rest as ``skipped``.
+    """
+    cell.children.append(Span(name="prepare", wall_seconds=prepare_seconds))
+    if verify_seconds is not None:
+        cell.children.append(Span(name="verify", wall_seconds=verify_seconds))
+    failed = cell.status != STATUS_OK
+    for trial in range(planned_trials):
+        if trial < len(trial_seconds):
+            record: dict[str, object] = {
+                "trial": trial,
+                "status": "ok",
+                "wall_seconds": trial_seconds[trial],
+            }
+        elif failed and trial == len(trial_seconds):
+            record = {"trial": trial, "status": cell.status, "wall_seconds": None}
+        else:
+            record = {"trial": trial, "status": "skipped", "wall_seconds": None}
+        if trial < len(trial_sources) and trial_sources[trial] is not None:
+            record["source"] = trial_sources[trial]
+        cell.trials.append(record)
+    cell.counters = _counters_snapshot(work)
+    if peak_bytes is not None:
+        cell.peak_mem_bytes = peak_bytes
+
+
 def run_cell(
     framework: Framework,
     kernel: str,
     case: GraphCase,
     mode: Mode,
     spec: BenchmarkSpec,
+    telemetry: Telemetry | None = None,
 ) -> RunResult:
-    """Benchmark one (framework, kernel, graph, mode) cell."""
+    """Benchmark one (framework, kernel, graph, mode) cell.
+
+    Raises on kernel error, verification failure, or deadline overrun;
+    either way the cell's telemetry span records what happened first.
+    """
+    tel = telemetry if telemetry is not None else Telemetry()
     ctx = RunContext(
         mode=mode,
         graph_name=case.name,
@@ -99,41 +182,83 @@ def run_cell(
         seed=spec.seed,
     )
     base_input = _kernel_input(case, kernel)
-    prepared = framework.prepare(kernel, base_input, ctx)
-    picker = SourcePicker(case.graph, spec.seed)
+    planned_trials = spec.num_trials(kernel)
+    deadline = TrialDeadline(spec.trial_timeout)
 
     trial_seconds: list[float] = []
+    trial_sources: list[object] = []
+    prepare_seconds = 0.0
+    verify_seconds: float | None = None
+    peak_bytes: int | None = None
     work = counters_mod.WorkCounters()
-    verified = True
-    for trial in range(spec.num_trials(kernel)):
-        source: int | None = None
-        sources: np.ndarray | None = None
-        if kernel in ("bfs", "sssp"):
-            source = picker.next_source()
-        elif kernel == "bc":
-            sources = picker.next_sources(spec.bc_roots)
 
-        with counters_mod.counting() as trial_work:
-            start = time.perf_counter()
-            if kernel == "bfs":
-                output = framework.bfs(prepared, source, ctx)
-            elif kernel == "sssp":
-                output = framework.sssp(prepared, source, ctx)
-            elif kernel == "cc":
-                output = framework.connected_components(prepared, ctx)
-            elif kernel == "pr":
-                output = framework.pagerank(prepared, ctx, tolerance=spec.pr_tolerance)
-            elif kernel == "bc":
-                output = framework.betweenness(prepared, sources, ctx)
-            elif kernel == "tc":
-                output = framework.triangle_count(prepared, ctx)
-            else:
-                raise ValueError(f"unknown kernel {kernel!r}")
-            trial_seconds.append(time.perf_counter() - start)
-        if trial == 0:
-            work = trial_work
-            if spec.verify:
-                _verify_output(kernel, case, output, source, sources, spec)
+    with tel.span(
+        "cell",
+        framework=framework.name,
+        kernel=kernel,
+        graph=case.name,
+        mode=mode.value,
+    ) as cell:
+        try:
+            cell.attributes["phase"] = "prepare"
+            prepare_start = time.perf_counter()
+            prepared = framework.prepare(kernel, base_input, ctx)
+            prepare_seconds = time.perf_counter() - prepare_start
+            picker = SourcePicker(case.graph, spec.seed)
+
+            for trial in range(planned_trials):
+                source: int | None = None
+                sources: np.ndarray | None = None
+                if kernel in ("bfs", "sssp"):
+                    source = picker.next_source()
+                elif kernel == "bc":
+                    sources = picker.next_sources(spec.bc_roots)
+                trial_sources.append(source)
+                cell.attributes["phase"] = "kernel"
+                cell.attributes["trial"] = trial
+
+                with counters_mod.counting() as trial_work:
+                    if tel.track_memory and trial == 0:
+                        with track_peak_memory() as tracked:
+                            with deadline:
+                                start = time.perf_counter()
+                                output = framework.run_kernel(
+                                    kernel, prepared, ctx,
+                                    source=source, sources=sources,
+                                    pr_tolerance=spec.pr_tolerance,
+                                )
+                                elapsed = time.perf_counter() - start
+                        peak_bytes = tracked.peak_bytes
+                    else:
+                        with deadline:
+                            start = time.perf_counter()
+                            output = framework.run_kernel(
+                                kernel, prepared, ctx,
+                                source=source, sources=sources,
+                                pr_tolerance=spec.pr_tolerance,
+                            )
+                            elapsed = time.perf_counter() - start
+                trial_seconds.append(elapsed)
+
+                if trial == 0:
+                    work = trial_work
+                    if spec.verify:
+                        cell.attributes["phase"] = "verify"
+                        verify_start = time.perf_counter()
+                        _verify_output(kernel, case, output, source, sources, spec)
+                        verify_seconds = time.perf_counter() - verify_start
+            cell.attributes.pop("phase", None)
+            cell.attributes.pop("trial", None)
+        except BaseException as exc:
+            # Mark the span before the finally materializes trial records,
+            # so the interrupted trial carries the failure status.
+            cell.fail(exc)
+            raise
+        finally:
+            _attach_cell_detail(
+                cell, prepare_seconds, verify_seconds, trial_seconds,
+                trial_sources, planned_trials, work, peak_bytes,
+            )
 
     return RunResult(
         framework=framework.name,
@@ -141,11 +266,31 @@ def run_cell(
         graph=case.name,
         mode=mode,
         trial_seconds=trial_seconds,
-        verified=verified,
+        verified=True,
         edges_examined=work.edges_examined,
         rounds=work.rounds,
         iterations=work.iterations,
         extras=dict(work.extras),
+    )
+
+
+def _failed_result(
+    framework: Framework,
+    kernel: str,
+    case: GraphCase,
+    mode: Mode,
+    status: str,
+    exc: BaseException,
+) -> RunResult:
+    return RunResult(
+        framework=framework.name,
+        kernel=kernel,
+        graph=case.name,
+        mode=mode,
+        trial_seconds=[],
+        verified=False,
+        status=status,
+        error=f"{type(exc).__name__}: {exc}",
     )
 
 
@@ -156,13 +301,25 @@ def run_suite(
     modes: Iterable[Mode] = (Mode.BASELINE, Mode.OPTIMIZED),
     spec: BenchmarkSpec | None = None,
     progress: Callable[[str], None] | None = None,
+    telemetry: Telemetry | None = None,
+    strict: bool = False,
 ) -> ResultSet:
-    """Run the full campaign; returns all cell results."""
+    """Run the full campaign; returns all cell results.
+
+    One bad (framework, kernel, graph) cell does not take down the
+    campaign: exceptions and deadline overruns become structured
+    ``error``/``timeout`` results (traced by ``telemetry``) and every
+    other cell still runs.  ``strict=True`` restores fail-fast: the first
+    failing cell re-raises.
+    """
     spec = spec or BenchmarkSpec()
+    tel = telemetry if telemetry is not None else Telemetry()
     frameworks = list(frameworks)
     kernels = list(kernels)
     modes = list(modes)
     results = ResultSet()
+    from ..errors import TrialTimeoutError
+
     for graph_name in graph_names:
         case = GraphCase.build(graph_name, scale=spec.scale, seed=spec.seed)
         for mode in modes:
@@ -172,5 +329,21 @@ def run_suite(
                         progress(
                             f"{mode.value}/{graph_name}/{kernel}/{framework.name}"
                         )
-                    results.add(run_cell(framework, kernel, case, mode, spec))
+                    try:
+                        result = run_cell(
+                            framework, kernel, case, mode, spec, telemetry=tel
+                        )
+                    except TrialTimeoutError as exc:
+                        if strict:
+                            raise
+                        result = _failed_result(
+                            framework, kernel, case, mode, "timeout", exc
+                        )
+                    except Exception as exc:
+                        if strict:
+                            raise
+                        result = _failed_result(
+                            framework, kernel, case, mode, "error", exc
+                        )
+                    results.add(result)
     return results

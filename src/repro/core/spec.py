@@ -62,6 +62,9 @@ class BenchmarkSpec:
     pr_tolerance: float = 1e-4
     bc_roots: int = BC_ROOTS_PER_TRIAL
     verify: bool = True
+    #: Wall-clock budget per trial, in seconds (None = unlimited).  A trial
+    #: over budget is recorded with status "timeout" instead of a timing.
+    trial_timeout: float | None = None
 
     def __post_init__(self) -> None:
         unknown = set(self.trials) - set(KERNELS)
@@ -71,6 +74,8 @@ class BenchmarkSpec:
             raise BenchmarkConfigError("trial counts must be positive")
         if self.bc_roots <= 0:
             raise BenchmarkConfigError("bc_roots must be positive")
+        if self.trial_timeout is not None and self.trial_timeout <= 0:
+            raise BenchmarkConfigError("trial_timeout must be positive (or None)")
 
     def num_trials(self, kernel: str) -> int:
         """Trial count for a kernel (default 3)."""

@@ -20,6 +20,8 @@ __all__ = [
     "table4_rows",
     "table5_rows",
     "stability_rows",
+    "failure_rows",
+    "trial_statistics_rows",
     "render",
     "KERNEL_LABELS",
 ]
@@ -82,7 +84,11 @@ def table4_rows(results: ResultSet, graphs: list[str]) -> list[dict[str, object]
         row: dict[str, object] = {"Kernel": KERNEL_LABELS[kernel]}
         for mode in (Mode.BASELINE, Mode.OPTIMIZED):
             for graph in graphs:
-                candidates = results.lookup(kernel=kernel, graph=graph, mode=mode)
+                candidates = [
+                    r
+                    for r in results.lookup(kernel=kernel, graph=graph, mode=mode)
+                    if r.ok and r.trial_seconds
+                ]
                 column = f"{mode.value}:{graph}"
                 if not candidates:
                     row[column] = None
@@ -117,7 +123,13 @@ def table5_rows(
                     column = f"{mode.value}:{graph}"
                     mine = results.one(framework, kernel, graph, mode)
                     ref = results.one(reference, kernel, graph, mode)
-                    if mine is None or ref is None or mine.seconds == 0:
+                    if (
+                        mine is None
+                        or ref is None
+                        or not (mine.ok and mine.trial_seconds)
+                        or not (ref.ok and ref.trial_seconds)
+                        or mine.seconds == 0
+                    ):
                         row[column] = None
                         continue
                     row[column] = round(100.0 * ref.seconds / mine.seconds, 1)
@@ -136,7 +148,11 @@ def stability_rows(results: ResultSet, graphs: list[str]) -> list[dict[str, obje
     """
     rows = []
     for graph in graphs:
-        cells = [r for r in results.lookup(graph=graph) if len(r.trial_seconds) > 1]
+        cells = [
+            r
+            for r in results.lookup(graph=graph)
+            if r.ok and len(r.trial_seconds) > 1
+        ]
         if not cells:
             continue
         variations = [cell.variation for cell in cells]
@@ -146,6 +162,53 @@ def stability_rows(results: ResultSet, graphs: list[str]) -> list[dict[str, obje
                 "Cells": len(cells),
                 "Mean CV": round(sum(variations) / len(variations), 4),
                 "Max CV": round(max(variations), 4),
+            }
+        )
+    return rows
+
+
+def failure_rows(results: ResultSet) -> list[dict[str, object]]:
+    """The failure table: one row per errored/timed-out cell.
+
+    Pollard & Norris's comparison methodology records failed cells rather
+    than dropping them; this is the table the runner's fault isolation
+    reports into (empty when every cell ran clean).
+    """
+    rows = []
+    for result in results.failures():
+        rows.append(
+            {
+                "Framework": result.framework,
+                "Kernel": KERNEL_LABELS.get(result.kernel, result.kernel),
+                "Graph": result.graph,
+                "Mode": result.mode.value,
+                "Status": result.status,
+                "Error": result.error,
+            }
+        )
+    return rows
+
+
+def trial_statistics_rows(results: ResultSet) -> list[dict[str, object]]:
+    """Per-cell trial statistics: p50/p95 and coefficient of variation.
+
+    The GAP suite mandates per-trial reporting; the averaged Table IV/V
+    cells hide it, so this table restores it for every ok cell.
+    """
+    rows = []
+    for result in results:
+        if not result.ok or not result.trial_seconds:
+            continue
+        rows.append(
+            {
+                "Framework": result.framework,
+                "Kernel": KERNEL_LABELS.get(result.kernel, result.kernel),
+                "Graph": result.graph,
+                "Mode": result.mode.value,
+                "Trials": len(result.trial_seconds),
+                "p50 (s)": round(result.p50_seconds, 4),
+                "p95 (s)": round(result.p95_seconds, 4),
+                "CV": round(result.variation, 4),
             }
         )
     return rows

@@ -43,6 +43,10 @@ class BenchmarkConfigError(ReproError):
     """The benchmark harness was configured inconsistently."""
 
 
+class TrialTimeoutError(ReproError):
+    """A benchmark trial exceeded its per-trial wall-clock deadline."""
+
+
 class UnknownFrameworkError(ReproError):
     """A framework name was requested that is not in the registry."""
 

@@ -174,6 +174,7 @@ class Framework(abc.ABC):
         ctx: RunContext,
         source: int | None = None,
         sources: np.ndarray | None = None,
+        pr_tolerance: float | None = None,
     ):
         """Invoke one kernel by GAP name; the harness's single entry point."""
         if kernel == "bfs":
@@ -181,7 +182,9 @@ class Framework(abc.ABC):
         if kernel == "sssp":
             return self.sssp(graph, int(source), ctx)
         if kernel == "pr":
-            return self.pagerank(graph, ctx)
+            if pr_tolerance is None:
+                return self.pagerank(graph, ctx)
+            return self.pagerank(graph, ctx, tolerance=pr_tolerance)
         if kernel == "cc":
             return self.connected_components(graph, ctx)
         if kernel == "bc":

@@ -1,0 +1,67 @@
+"""Counter regression tests: instrumentation must not silently rot.
+
+The work counters are the machine-independent half of every comparison in
+this repo (edges examined, rounds, iterations).  A framework that stops
+reporting into them would silently degrade the work-efficiency tables to
+zeros, so this module pins, for every registered framework, that BFS and
+CC on a fixed graph actually populate them with sane values.
+"""
+
+import pytest
+
+from repro.core import BenchmarkSpec, GraphCase, SourcePicker, counters, run_cell
+from repro.frameworks import KERNELS, Mode, RunContext, get
+from repro.frameworks.registry import EXTENDED_FRAMEWORK_NAMES
+
+COUNTER_SCALE = 7
+
+
+@pytest.fixture(scope="module")
+def case():
+    return GraphCase.build("kron", scale=COUNTER_SCALE)
+
+
+@pytest.fixture(scope="module")
+def source(case):
+    return SourcePicker(case.graph, seed=0).next_source()
+
+
+@pytest.mark.parametrize("framework_name", EXTENDED_FRAMEWORK_NAMES)
+def test_bfs_populates_counters(case, source, framework_name):
+    framework = get(framework_name)
+    with counters.counting() as work:
+        framework.bfs(case.graph, source, RunContext())
+    assert work.edges_examined > 0, f"{framework_name} BFS reported no edges"
+    # A BFS does at least one frontier round and at most |V| of them.
+    assert 0 < work.rounds <= case.graph.num_vertices
+
+
+@pytest.mark.parametrize("framework_name", EXTENDED_FRAMEWORK_NAMES)
+def test_cc_populates_counters(case, framework_name):
+    framework = get(framework_name)
+    with counters.counting() as work:
+        framework.connected_components(case.graph, RunContext())
+    assert work.edges_examined > 0, f"{framework_name} CC reported no edges"
+    # CC progresses in rounds (label prop / SV) or sweeps (Afforest, FastSV).
+    passes = work.rounds + work.iterations
+    assert 0 < passes <= case.graph.num_vertices
+
+
+@pytest.mark.parametrize("framework_name", EXTENDED_FRAMEWORK_NAMES)
+def test_run_cell_records_bfs_counters(case, framework_name):
+    """The counters must survive the runner and land on the RunResult."""
+    spec = BenchmarkSpec(scale=COUNTER_SCALE, trials={k: 1 for k in KERNELS})
+    result = run_cell(get(framework_name), "bfs", case, Mode.BASELINE, spec)
+    assert result.edges_examined > 0
+    assert result.rounds > 0
+
+
+def test_counters_isolated_between_runs(case, source):
+    """A second run must not inherit the first run's counts."""
+    framework = get("gap")
+    with counters.counting() as first:
+        framework.bfs(case.graph, source, RunContext())
+    with counters.counting() as second:
+        framework.bfs(case.graph, source, RunContext())
+    assert second.edges_examined == first.edges_examined
+    assert second.rounds == first.rounds

@@ -1,0 +1,103 @@
+"""Property-based tests for the five corpus generators.
+
+Table I picked the GAP corpus for topological *diversity*; the scaled
+analogs are only valid substitutes while they preserve each topology
+class's invariants.  These tests pin the properties the kernels and the
+paper's discussion rely on: reproducibility (identical graphs for
+identical seeds — the cross-framework tables depend on every framework
+seeing the same input), degree-distribution shape (bounded for Road,
+heavy-tailed for the power-law graphs, concentrated for Urand), and
+monotonic growth of |V| and |E| with ``scale``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.generators import GAP_GRAPHS, GRAPH_NAMES, build_graph
+
+SHAPE_SCALE = 10
+HEAVY_TAIL_GRAPHS = ("twitter", "kron")
+
+
+def _edge_key(graph):
+    src, dst = graph.edge_array()
+    return src, dst
+
+
+class TestSeedDeterminism:
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
+    def test_same_seed_same_graph(self, name):
+        first = build_graph(name, scale=8, seed=3)
+        second = build_graph(name, scale=8, seed=3)
+        assert first.num_vertices == second.num_vertices
+        assert first.num_edges == second.num_edges
+        for a, b in zip(_edge_key(first), _edge_key(second)):
+            np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
+    def test_different_seed_different_graph(self, name):
+        first = build_graph(name, scale=8, seed=0)
+        second = build_graph(name, scale=8, seed=1)
+        if first.num_edges != second.num_edges:
+            return  # edge counts differ — clearly different graphs
+        same = all(
+            np.array_equal(a, b)
+            for a, b in zip(_edge_key(first), _edge_key(second))
+        )
+        assert not same
+
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
+    def test_directedness_matches_spec(self, name):
+        graph = build_graph(name, scale=8)
+        assert graph.directed == GAP_GRAPHS[name].directed
+
+
+class TestDegreeShape:
+    def test_road_degree_is_bounded(self):
+        """Road analogs stay lattice-like: no vertex grows a hub."""
+        graph = build_graph("road", scale=SHAPE_SCALE)
+        degrees = graph.out_degrees
+        assert degrees.max() <= 8
+        assert degrees.max() <= 4 * max(degrees.mean(), 1.0)
+
+    @pytest.mark.parametrize("name", HEAVY_TAIL_GRAPHS)
+    def test_power_law_graphs_have_heavy_tail(self, name):
+        """Twitter/Kron analogs keep a hub: max degree >> mean degree."""
+        graph = build_graph(name, scale=SHAPE_SCALE)
+        degrees = graph.out_degrees
+        assert degrees.max() >= 8 * degrees.mean()
+        # The tail is sparse: hubs above 4x mean are a small minority.
+        hubs = (degrees > 4 * degrees.mean()).sum()
+        assert 0 < hubs < 0.10 * graph.num_vertices
+
+    def test_urand_degree_is_concentrated(self):
+        """Erdős–Rényi analog: degrees cluster tightly around the mean."""
+        graph = build_graph("urand", scale=SHAPE_SCALE)
+        degrees = graph.out_degrees
+        assert degrees.max() <= 4 * degrees.mean()
+
+    def test_heavy_tail_exceeds_urand_skew(self):
+        """The shape contrast the paper's analysis leans on, made explicit."""
+        skew = {}
+        for name in ("kron", "urand"):
+            degrees = build_graph(name, scale=SHAPE_SCALE).out_degrees
+            skew[name] = degrees.max() / degrees.mean()
+        assert skew["kron"] > 4 * skew["urand"]
+
+
+class TestScaleMonotonicity:
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
+    def test_vertices_and_edges_grow_with_scale(self, name):
+        sizes = [build_graph(name, scale=s) for s in (7, 8, 9, 10)]
+        vertex_counts = [g.num_vertices for g in sizes]
+        edge_counts = [g.num_edges for g in sizes]
+        assert vertex_counts == sorted(vertex_counts)
+        assert len(set(vertex_counts)) == len(vertex_counts)
+        assert edge_counts == sorted(edge_counts)
+        assert len(set(edge_counts)) == len(edge_counts)
+
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
+    def test_scale_reaches_target_vertex_count(self, name):
+        graph = build_graph(name, scale=9)
+        # Generators may drop isolated/merged vertices but must stay near 2**scale.
+        assert 2**8 < graph.num_vertices <= 2**9

@@ -80,6 +80,40 @@ class TestRunner:
         assert case.weighted.is_weighted
         assert not case.undirected.directed
 
+    def test_undirected_input_aliases_undirected_view(self, case):
+        """kron is generated undirected: no symmetrized copy is made."""
+        assert not case.graph.directed
+        assert case.undirected is case.graph
+
+    def test_directed_input_gets_symmetrized_copy(self):
+        case = GraphCase.build("road", scale=7)
+        assert case.graph.directed
+        assert case.undirected is not case.graph
+        assert not case.undirected.directed
+        # Symmetrization only adds missing reverse edges, never drops any.
+        assert case.undirected.num_edges >= case.graph.num_edges
+
+    def test_weighted_view_preserves_directedness(self):
+        for name in ("road", "kron"):
+            case = GraphCase.build(name, scale=7)
+            assert case.weighted.directed == case.graph.directed
+            assert case.weighted.num_edges == case.graph.num_edges
+            assert case.weighted.is_weighted
+            assert not case.graph.is_weighted
+
+    def test_already_weighted_input_is_aliased(self):
+        from repro.generators import build_graph, weighted_version
+
+        graph = weighted_version(build_graph("kron", scale=7))
+        case = GraphCase.from_graph("kron", graph)
+        assert case.weighted is graph
+
+    def test_undirected_view_never_carries_weights(self):
+        """TC runs unweighted; the undirected view must match the base graph."""
+        for name in ("road", "kron"):
+            case = GraphCase.build(name, scale=7)
+            assert not case.undirected.is_weighted
+
     @pytest.mark.parametrize("kernel", KERNELS)
     def test_run_cell_each_kernel(self, case, kernel):
         result = run_cell(get("gap"), kernel, case, Mode.BASELINE, TINY_SPEC)

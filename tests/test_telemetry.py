@@ -1,0 +1,413 @@
+"""Tests for the telemetry & fault-isolation layer.
+
+Covers the span tracer (nesting, status capture, JSONL sink), the
+per-trial deadline (signal and monotonic-fallback paths), the runner
+wire-up (phase spans, counters, peak memory), and the acceptance
+scenario: a suite run where one framework's kernel raises completes all
+other cells, records the failure as a structured ``error`` trial in the
+JSONL trace and the report failure table, and exits nonzero only under
+``--strict``.
+"""
+
+import dataclasses
+import threading
+import time
+
+import pytest
+
+from repro.core import (
+    BenchmarkSpec,
+    GraphCase,
+    JsonlSink,
+    Telemetry,
+    TrialDeadline,
+    read_trace,
+    run_cell,
+    run_suite,
+)
+from repro.core.report import results_to_markdown
+from repro.core.tables import failure_rows, trial_statistics_rows
+from repro.core.telemetry import quantile
+from repro.errors import TrialTimeoutError, VerificationError
+from repro.frameworks import KERNELS, Mode, RunContext
+from repro.gapbs import GAPReference
+
+TINY_SPEC = BenchmarkSpec(scale=8, trials={k: 1 for k in KERNELS})
+
+
+@pytest.fixture(scope="module")
+def case():
+    return GraphCase.build("kron", scale=8)
+
+
+class FaultyCC(GAPReference):
+    """Test-only framework whose CC kernel always raises."""
+
+    attributes = dataclasses.replace(GAPReference.attributes, name="faulty")
+
+    def connected_components(self, graph, ctx=RunContext()):
+        raise RuntimeError("injected fault")
+
+
+class SleepyCC(GAPReference):
+    """Test-only framework whose CC kernel hangs past any sane deadline."""
+
+    attributes = dataclasses.replace(GAPReference.attributes, name="sleepy")
+
+    def connected_components(self, graph, ctx=RunContext()):
+        time.sleep(5.0)
+        return super().connected_components(graph, ctx)
+
+
+class TestSpans:
+    def test_nesting_and_timing(self):
+        tel = Telemetry()
+        with tel.span("outer", label="x") as outer:
+            with tel.span("inner"):
+                pass
+        assert tel.spans == [outer]
+        assert outer.status == "ok"
+        assert outer.wall_seconds >= 0
+        assert outer.child("inner") is not None
+        assert outer.attributes["label"] == "x"
+
+    def test_exception_marks_error_and_propagates(self):
+        tel = Telemetry()
+        with pytest.raises(ValueError):
+            with tel.span("boom"):
+                raise ValueError("nope")
+        span = tel.spans[0]
+        assert span.status == "error"
+        assert span.error["type"] == "ValueError"
+        assert "nope" in span.error["message"]
+        assert "ValueError" in span.error["traceback"]
+
+    def test_timeout_status(self):
+        tel = Telemetry()
+        with pytest.raises(TrialTimeoutError):
+            with tel.span("slow"):
+                raise TrialTimeoutError("budget gone")
+        assert tel.spans[0].status == "timeout"
+
+    def test_current_span(self):
+        tel = Telemetry()
+        assert tel.current() is None
+        with tel.span("a") as a:
+            assert tel.current() is a
+        assert tel.current() is None
+
+    def test_summary_counts_and_percentiles(self):
+        tel = Telemetry()
+        with tel.span("fine", framework="gap"):
+            pass
+        with pytest.raises(RuntimeError):
+            with tel.span("bad", framework="gkc"):
+                raise RuntimeError("x")
+        summary = tel.summary()
+        assert summary["spans"] == 2
+        assert summary["by_status"] == {"ok": 1, "error": 1}
+        assert summary["failures"][0]["framework"] == "gkc"
+        assert summary["p50_seconds"] >= 0
+
+    def test_quantile(self):
+        assert quantile([], 0.5) != quantile([], 0.5)  # NaN
+        assert quantile([3.0], 0.95) == 3.0
+        assert quantile([1.0, 2.0, 3.0], 0.5) == 2.0
+        assert quantile([1.0, 2.0], 0.5) == pytest.approx(1.5)
+
+
+class TestJsonlSink:
+    def test_stream_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.write({"a": 1})
+        sink.write({"b": [1, 2]})
+        sink.close()
+        assert read_trace(path) == [{"a": 1}, {"b": [1, 2]}]
+
+    def test_telemetry_streams_top_level_spans(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Telemetry(sink=path) as tel:
+            with tel.span("cell", kernel="bfs"):
+                with tel.span("inner"):
+                    pass
+        records = read_trace(path)
+        assert len(records) == 1  # nested span rides inside the cell record
+        assert records[0]["span"] == "cell"
+        assert records[0]["kernel"] == "bfs"
+        assert records[0]["children"][0]["span"] == "inner"
+
+
+class TestTrialDeadline:
+    def test_disabled_is_noop(self):
+        with TrialDeadline(None):
+            pass
+        with TrialDeadline(0):
+            time.sleep(0.01)
+
+    def test_fast_block_passes(self):
+        with TrialDeadline(5.0):
+            pass
+
+    def test_signal_interrupts_hung_block(self):
+        started = time.monotonic()
+        with pytest.raises(TrialTimeoutError):
+            with TrialDeadline(0.05):
+                time.sleep(5.0)
+        assert time.monotonic() - started < 1.0  # interrupted, not post-hoc
+
+    def test_monotonic_fallback_off_main_thread(self):
+        """Without signals the deadline still converts overruns to timeouts."""
+        caught = []
+
+        def overrun():
+            try:
+                with TrialDeadline(0.01):
+                    time.sleep(0.05)
+            except TrialTimeoutError as exc:
+                caught.append(exc)
+
+        worker = threading.Thread(target=overrun)
+        worker.start()
+        worker.join()
+        assert len(caught) == 1
+        assert "post-hoc" in str(caught[0])
+
+
+class TestRunnerWireUp:
+    def test_cell_span_structure(self, case):
+        tel = Telemetry()
+        result = run_cell(GAPReference(), "bfs", case, Mode.BASELINE, TINY_SPEC,
+                          telemetry=tel)
+        assert result.status == "ok" and result.ok
+        span = tel.spans[-1]
+        assert span.name == "cell"
+        assert span.status == "ok"
+        assert span.attributes["framework"] == "gap"
+        assert span.attributes["kernel"] == "bfs"
+        assert span.child("prepare") is not None
+        assert span.child("verify") is not None
+        assert len(span.trials) == 1
+        assert span.trials[0]["status"] == "ok"
+        assert span.trials[0]["wall_seconds"] > 0
+        assert "source" in span.trials[0]
+        assert span.counters["edges_examined"] > 0
+
+    def test_peak_memory_tracked_on_request(self, case):
+        tel = Telemetry(track_memory=True)
+        run_cell(GAPReference(), "pr", case, Mode.BASELINE, TINY_SPEC, telemetry=tel)
+        assert tel.spans[-1].peak_mem_bytes > 0
+
+    def test_failing_cell_records_error_span_then_raises(self, case):
+        tel = Telemetry()
+        with pytest.raises(RuntimeError):
+            run_cell(FaultyCC(), "cc", case, Mode.BASELINE, TINY_SPEC, telemetry=tel)
+        span = tel.spans[-1]
+        assert span.status == "error"
+        assert span.error["type"] == "RuntimeError"
+        assert span.attributes["phase"] == "kernel"
+        assert span.trials[0]["status"] == "error"
+
+    def test_verification_failure_attributed_to_verify_phase(self, case):
+        class WrongTC(GAPReference):
+            def triangle_count(self, graph, ctx=RunContext()):
+                return super().triangle_count(graph, ctx) + 7
+
+        tel = Telemetry()
+        with pytest.raises(VerificationError):
+            run_cell(WrongTC(), "tc", case, Mode.BASELINE, TINY_SPEC, telemetry=tel)
+        span = tel.spans[-1]
+        assert span.status == "error"
+        assert span.attributes["phase"] == "verify"
+
+    def test_timeout_cell_records_timeout_span(self, case):
+        spec = BenchmarkSpec(scale=8, trials={"cc": 1}, trial_timeout=0.05)
+        tel = Telemetry()
+        with pytest.raises(TrialTimeoutError):
+            run_cell(SleepyCC(), "cc", case, Mode.BASELINE, spec, telemetry=tel)
+        assert tel.spans[-1].status == "timeout"
+
+    def test_skipped_trials_recorded(self, case):
+        """Trials never reached after a failure show up as skipped."""
+        spec = BenchmarkSpec(scale=8, trials={"cc": 3})
+        tel = Telemetry()
+        with pytest.raises(RuntimeError):
+            run_cell(FaultyCC(), "cc", case, Mode.BASELINE, spec, telemetry=tel)
+        statuses = [t["status"] for t in tel.spans[-1].trials]
+        assert statuses == ["error", "skipped", "skipped"]
+
+
+class TestFaultIsolation:
+    """The acceptance scenario: one broken framework cannot sink the suite."""
+
+    def test_suite_completes_around_faulty_framework(self, case, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        telemetry = Telemetry(sink=trace_path)
+        results = run_suite(
+            [GAPReference(), FaultyCC()],
+            ["kron"],
+            kernels=["bfs", "cc", "tc"],
+            modes=[Mode.BASELINE],
+            spec=TINY_SPEC,
+            telemetry=telemetry,
+        )
+        telemetry.close()
+
+        # All 6 cells are recorded; only faulty/cc failed.
+        assert len(results) == 6
+        failures = results.failures()
+        assert [(f.framework, f.kernel, f.status) for f in failures] == [
+            ("faulty", "cc", "error")
+        ]
+        assert "RuntimeError: injected fault" in failures[0].error
+        # Every other cell — including the faulty framework's other kernels —
+        # completed and was measured.
+        ok_cells = [r for r in results if r.ok]
+        assert len(ok_cells) == 5
+        assert all(r.seconds > 0 for r in ok_cells)
+
+        # The JSONL trace carries the structured error trial.
+        records = read_trace(trace_path)
+        assert len(records) == 6
+        failed = [r for r in records if r["status"] == "error"]
+        assert len(failed) == 1
+        assert failed[0]["framework"] == "faulty"
+        assert failed[0]["kernel"] == "cc"
+        assert failed[0]["error"]["type"] == "RuntimeError"
+        assert failed[0]["trials"][0]["status"] == "error"
+
+        # The failure lands in the report's failure table.
+        assert failure_rows(results)[0]["Status"] == "error"
+        report = results_to_markdown(results, ["kron"])
+        assert "## Failures" in report
+        assert "injected fault" in report
+
+    def test_strict_restores_fail_fast(self, case):
+        with pytest.raises(RuntimeError, match="injected fault"):
+            run_suite(
+                [FaultyCC()],
+                ["kron"],
+                kernels=["cc"],
+                modes=[Mode.BASELINE],
+                spec=TINY_SPEC,
+                strict=True,
+            )
+
+    def test_timeout_recorded_as_timeout_result(self):
+        spec = BenchmarkSpec(scale=8, trials={"cc": 1}, trial_timeout=0.05)
+        started = time.monotonic()
+        results = run_suite(
+            [SleepyCC()], ["kron"], kernels=["cc"], modes=[Mode.BASELINE], spec=spec
+        )
+        assert time.monotonic() - started < 2.0
+        failure = results.failures()[0]
+        assert failure.status == "timeout"
+        assert "deadline" in failure.error
+
+    def test_failed_results_roundtrip_json(self, tmp_path):
+        results = run_suite(
+            [FaultyCC()], ["kron"], kernels=["cc"], modes=[Mode.BASELINE],
+            spec=TINY_SPEC,
+        )
+        path = tmp_path / "results.json"
+        results.save_json(path)
+        from repro.core import ResultSet
+
+        back = ResultSet.load_json(path)
+        assert back.results[0].status == "error"
+        assert not back.results[0].ok
+        assert "injected fault" in back.results[0].error
+
+    def test_failed_cells_excluded_from_tables(self):
+        from repro.core.tables import table4_rows, table5_rows
+
+        results = run_suite(
+            [GAPReference(), FaultyCC()],
+            ["kron"],
+            kernels=["cc"],
+            modes=[Mode.BASELINE],
+            spec=TINY_SPEC,
+        )
+        t4 = {row["Kernel"]: row for row in table4_rows(results, ["kron"])}
+        assert t4["CC"]["baseline:kron:winner"] == "gap"
+        t5 = [r for r in table5_rows(results, ["kron"]) if r["Framework"] == "faulty"]
+        assert all(row["baseline:kron"] is None for row in t5)
+
+    def test_trial_statistics_rows_only_ok_cells(self):
+        results = run_suite(
+            [GAPReference(), FaultyCC()],
+            ["kron"],
+            kernels=["cc"],
+            modes=[Mode.BASELINE],
+            spec=TINY_SPEC,
+        )
+        rows = trial_statistics_rows(results)
+        assert {row["Framework"] for row in rows} == {"gap"}
+        assert all(row["p95 (s)"] >= row["p50 (s)"] for row in rows)
+
+
+class TestCLI:
+    @pytest.fixture
+    def faulty_registry(self, monkeypatch):
+        """Register the test-only faulty framework under the CLI's nose."""
+        import repro.__main__ as cli
+        from repro.frameworks import registry
+
+        monkeypatch.setitem(registry._LOADERS, "faulty", FaultyCC)
+        monkeypatch.delitem(registry._instances, "faulty", raising=False)
+        extended = registry.EXTENDED_FRAMEWORK_NAMES + ("faulty",)
+        monkeypatch.setattr(registry, "EXTENDED_FRAMEWORK_NAMES", extended)
+        monkeypatch.setattr(cli, "EXTENDED_FRAMEWORK_NAMES", extended)
+
+    def test_non_strict_run_exits_zero_and_reports(
+        self, faulty_registry, tmp_path, capsys
+    ):
+        from repro.__main__ import main
+
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "run", "--scale", "8", "--graphs", "kron", "--kernels", "bfs,cc",
+                "--frameworks", "gap,faulty", "--modes", "baseline",
+                "--trace", str(trace),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 failed" in out
+        assert "Failures" in out
+        assert any(r["status"] == "error" for r in read_trace(trace))
+
+    def test_strict_run_exits_nonzero(self, faulty_registry, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            [
+                "run", "--scale", "8", "--graphs", "kron", "--kernels", "cc",
+                "--frameworks", "gap,faulty", "--modes", "baseline", "--strict",
+            ]
+        )
+        assert code != 0
+        assert "suite aborted" in capsys.readouterr().err
+
+    def test_timeout_flag_rejects_hung_kernel(self, monkeypatch, capsys):
+        import repro.__main__ as cli
+        from repro.frameworks import registry
+
+        monkeypatch.setitem(registry._LOADERS, "sleepy", SleepyCC)
+        monkeypatch.delitem(registry._instances, "sleepy", raising=False)
+        extended = registry.EXTENDED_FRAMEWORK_NAMES + ("sleepy",)
+        monkeypatch.setattr(registry, "EXTENDED_FRAMEWORK_NAMES", extended)
+        monkeypatch.setattr(cli, "EXTENDED_FRAMEWORK_NAMES", extended)
+        from repro.__main__ import main
+
+        code = main(
+            [
+                "run", "--scale", "8", "--graphs", "kron", "--kernels", "cc",
+                "--frameworks", "sleepy", "--modes", "baseline",
+                "--timeout", "0.05",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "timeout" in out
