@@ -1,0 +1,160 @@
+"""Campaign scaling bench: process-pool speedup and graph-cache savings.
+
+The parallel executor exists to cut campaign wall time, and the graph
+cache exists to cut the (untimed, but very real) corpus build time on
+repeat campaigns.  This bench measures both:
+
+* the same small campaign is timed at ``--jobs 1/2/4`` over a prewarmed
+  cache, so the comparison isolates cell execution from graph building;
+  on a multi-core host ``--jobs 4`` must reach a 1.5x speedup over
+  serial (the acceptance bound) — single-core hosts skip the assertion
+  and just report the measured ratio;
+* the corpus build is timed cold (generate + store) and warm (cache
+  hit), and a warm build must not be slower than a cold one.
+
+Run under pytest (tier2; not part of the tier-1 suite)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_runner_scaling.py
+
+or directly for a JSON summary::
+
+    PYTHONPATH=src python benchmarks/bench_runner_scaling.py
+"""
+
+import json
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.core import BenchmarkSpec, run_suite
+from repro.core.runner import build_case
+from repro.frameworks import Mode, get
+from repro.graphs import GraphCache
+
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "10"))
+GRAPHS = ["kron", "road"]
+KERNELS_USED = ["bfs", "cc", "pr"]
+MODES = [Mode.BASELINE, Mode.OPTIMIZED]
+JOB_COUNTS = (1, 2, 4)
+SPEEDUP_BOUND = 1.5
+REPEATS = 3
+
+SPEC = BenchmarkSpec(scale=BENCH_SCALE, trials={k: 1 for k in KERNELS_USED})
+
+
+def _campaign_seconds(jobs: int, cache: GraphCache) -> float:
+    """Best-of-N wall time for one campaign at the given worker count."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        results = run_suite(
+            [get("gap")], GRAPHS, kernels=KERNELS_USED, modes=MODES,
+            spec=SPEC, jobs=jobs, cache=cache,
+        )
+        elapsed = time.perf_counter() - start
+        assert len(results) == len(GRAPHS) * len(MODES) * len(KERNELS_USED)
+        assert all(r.ok for r in results)
+        best = min(best, elapsed)
+    return best
+
+
+def _cache_build_seconds(root) -> tuple[float, float]:
+    """(cold, warm) corpus build times through one fresh cache."""
+    cache = GraphCache(root)
+    start = time.perf_counter()
+    for name in GRAPHS:
+        build_case(name, SPEC, cache)
+    cold = time.perf_counter() - start
+    assert cache.misses == len(GRAPHS)
+    warm = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for name in GRAPHS:
+            build_case(name, SPEC, cache)
+        warm = min(warm, time.perf_counter() - start)
+    assert cache.hits == len(GRAPHS) * REPEATS
+    return cold, warm
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = GraphCache(tmp)
+        for name in GRAPHS:  # prewarm: scaling timings exclude graph builds
+            build_case(name, SPEC, cache)
+        yield {jobs: _campaign_seconds(jobs, cache) for jobs in JOB_COUNTS}
+
+
+@pytest.mark.tier2
+def test_parallel_campaign_reaches_speedup_bound(scaling):
+    """--jobs 4 must be >= 1.5x faster than serial (multi-core hosts)."""
+    cores = os.cpu_count() or 1
+    speedup = scaling[1] / scaling[4]
+    if cores < 2:
+        pytest.skip(
+            f"only {cores} CPU core(s): no parallel speedup is possible "
+            f"(measured {speedup:.2f}x)"
+        )
+    assert speedup >= SPEEDUP_BOUND, (
+        f"--jobs 4 speedup {speedup:.2f}x below {SPEEDUP_BOUND}x bound "
+        f"(serial {scaling[1]:.2f}s vs jobs=4 {scaling[4]:.2f}s)"
+    )
+
+
+@pytest.mark.tier2
+def test_parallel_overhead_is_bounded(scaling):
+    """Even with no cores to spare, the pool must not implode wall time.
+
+    Bounds pool setup + IPC + shared-memory publication: a jobs=2 run may
+    lose to serial on a single core, but only by a constant factor.
+    """
+    assert scaling[2] <= scaling[1] * 3.0 + 2.0, (
+        f"jobs=2 wall {scaling[2]:.2f}s vs serial {scaling[1]:.2f}s — "
+        "executor overhead out of proportion"
+    )
+
+
+@pytest.mark.tier2
+def test_warm_cache_build_not_slower_than_cold(tmp_path):
+    cold, warm = _cache_build_seconds(tmp_path)
+    assert warm <= cold * 1.2, (
+        f"warm corpus build {warm:.3f}s vs cold {cold:.3f}s — cache hits "
+        "should skip generation"
+    )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        cold, warm = _cache_build_seconds(os.path.join(tmp, "cache-timing"))
+        cache = GraphCache(os.path.join(tmp, "cache"))
+        for name in GRAPHS:
+            build_case(name, SPEC, cache)
+        walls = {jobs: _campaign_seconds(jobs, cache) for jobs in JOB_COUNTS}
+    print(
+        json.dumps(
+            {
+                "scale": BENCH_SCALE,
+                "cells": len(GRAPHS) * len(MODES) * len(KERNELS_USED),
+                "cpu_count": os.cpu_count(),
+                "campaign_wall_seconds": {
+                    f"jobs={jobs}": round(wall, 4) for jobs, wall in walls.items()
+                },
+                "speedup_vs_serial": {
+                    f"jobs={jobs}": round(walls[1] / wall, 3)
+                    for jobs, wall in walls.items()
+                },
+                "corpus_build_seconds": {
+                    "cold": round(cold, 4),
+                    "warm": round(warm, 4),
+                    "speedup": round(cold / warm, 1) if warm > 0 else None,
+                },
+            },
+            indent=2,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

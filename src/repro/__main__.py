@@ -6,6 +6,7 @@ Subcommands::
                         [--frameworks f,g] [--modes baseline,optimized]
                         [--out results.json] [--strict] [--timeout S]
                         [--trace trace.jsonl] [--track-memory]
+                        [--jobs N] [--cache-dir DIR] [--no-cache]
     python -m repro tables --results results.json
     python -m repro graphs [--scale N]          # Table I
     python -m repro compare --results results.json
@@ -31,7 +32,7 @@ from .core.report import write_markdown_report
 from .core.tables import failure_rows, render, table1_rows, table4_rows, table5_rows
 from .frameworks import EXTENDED_FRAMEWORK_NAMES, KERNELS, Mode, get
 from .generators import DEFAULT_SCALE, GRAPH_NAMES, build_corpus, build_graph, weighted_version
-from .graphs import write_edge_list
+from .graphs import GraphCache, write_edge_list
 
 
 def _split(value: str, allowed: tuple[str, ...], label: str) -> list[str]:
@@ -51,9 +52,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     kernels = _split(args.kernels, KERNELS, "kernel")
     modes = [Mode(mode) for mode in args.modes.split(",")]
     try:
-        spec = BenchmarkSpec(scale=args.scale, trial_timeout=args.timeout)
+        spec = BenchmarkSpec(
+            scale=args.scale, trial_timeout=args.timeout, jobs=args.jobs
+        )
     except BenchmarkConfigError as exc:
         raise SystemExit(f"invalid run configuration: {exc}")
+    if args.no_cache:
+        cache = None
+    else:
+        cache = GraphCache(args.cache_dir)
+        try:
+            cache.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise SystemExit(f"cannot use cache directory {cache.root}: {exc}")
     try:
         telemetry = Telemetry(
             sink=args.trace if args.trace else None,
@@ -71,10 +82,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             progress=lambda label: print(f"\r  {label:<50}", end="", flush=True),
             telemetry=telemetry,
             strict=args.strict,
+            cache=cache,
         )
     except Exception as exc:
-        # --strict fail-fast: the first broken cell aborts the campaign.
-        print(f"\nsuite aborted (--strict): {type(exc).__name__}: {exc}", file=sys.stderr)
+        # --strict fail-fast aborts on the first broken cell; without it
+        # only infrastructure failures (not cell failures) land here.
+        reason = " (--strict)" if args.strict else ""
+        print(f"\nsuite aborted{reason}: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 1
     finally:
         telemetry.close()
@@ -180,6 +194,27 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="record peak heap allocation of each cell's first trial "
         "(tracemalloc; distorts that trial's timing)",
+    )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the campaign (default 1 = serial); with "
+        "N>1 cells run in a process pool over a shared-memory corpus and "
+        "--timeout becomes a hard per-cell kill",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent graph-cache directory (default: $REPRO_CACHE_DIR "
+        "or ~/.cache/repro/graphs); cached graphs skip generation",
+    )
+    run_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always regenerate graphs; neither read nor write the cache",
     )
     run_parser.set_defaults(fn=_cmd_run)
 

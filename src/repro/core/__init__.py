@@ -8,13 +8,16 @@ Submodules:
 * ``verify`` — per-kernel output verification oracles.
 * ``telemetry`` — span tracing, JSONL sinks, per-trial deadlines.
 * ``runner`` — executes kernels under the Baseline/Optimized rule sets.
+* ``executor`` / ``sharedmem`` — process-pool campaign execution over a
+  shared-memory corpus, with hard per-cell deadlines.
 * ``results`` / ``tables`` — result records and Table I–V renderers.
 """
 
 from . import counters
 from .bitmap import Bitmap
+from .executor import run_suite_parallel
 from .results import ResultSet, RunResult
-from .runner import GraphCase, run_cell, run_suite
+from .runner import GraphCase, build_case, run_cell, run_suite
 from .spec import BenchmarkSpec, SourcePicker
 from .sweeps import delta_sweep, direction_threshold_sweep, scale_sweep
 from .telemetry import JsonlSink, Span, Telemetry, TrialDeadline, read_trace
@@ -32,12 +35,14 @@ __all__ = [
     "Span",
     "Telemetry",
     "TrialDeadline",
+    "build_case",
     "counters",
     "delta_sweep",
     "direction_threshold_sweep",
     "read_trace",
     "run_cell",
     "run_suite",
+    "run_suite_parallel",
     "scale_sweep",
     "sparkline",
     "trace_bfs",

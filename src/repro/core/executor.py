@@ -1,0 +1,367 @@
+"""Process-pool campaign executor: shards cells across worker processes.
+
+``run_suite`` executes the paper's 6×6×5×2 campaign serially in one
+process; at that point campaign wall time, not kernel time, bounds how
+fast the reproduction can iterate.  This module shards the independent
+(framework, kernel, graph, mode) cells across a pool of worker processes:
+
+* the graph corpus is built **once** per graph in the parent (optionally
+  through the persistent :class:`~repro.graphs.cache.GraphCache`) and
+  published to workers via :mod:`repro.core.sharedmem` — workers attach
+  zero-copy read-only views, so memory stays one corpus regardless of
+  worker count and no CSR array is ever pickled;
+* workers stream ``start`` / ``done`` messages (results plus telemetry
+  span records) back over a queue; the parent merges spans into the one
+  :class:`~repro.core.telemetry.Telemetry` collector and assembles the
+  :class:`~repro.core.results.ResultSet` in canonical cell order, so the
+  output is byte-for-byte independent of completion order;
+* process isolation turns ``BenchmarkSpec.trial_timeout`` into a **hard**
+  deadline: the in-worker ``SIGALRM`` deadline still catches interruptible
+  overruns cheaply, but a worker stuck inside one long C call — which no
+  in-process mechanism can stop (see ``TrialDeadline``) — is killed by the
+  parent once the cell exceeds its trial budgets, the cell is recorded as
+  a ``timeout`` result, and a replacement worker keeps the campaign going.
+
+Every cell still runs the exact serial measurement protocol
+(:func:`~repro.core.runner.run_cell`): sources, counters, verification,
+and statuses are identical to ``jobs=1`` — only wall-clock parallelism
+and the kill guarantee differ.  ``tests/test_executor.py`` pins that
+equivalence.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from ..errors import CellFailedError, TrialTimeoutError
+from ..frameworks.base import KERNELS, Framework, Mode
+from ..graphs.cache import GraphCache
+from .results import ResultSet, RunResult
+from .runner import _failed_result, build_case, run_cell
+from .sharedmem import SharedCase, SharedCaseHandle, attach_case
+from .spec import BenchmarkSpec
+from .telemetry import STATUS_ERROR, STATUS_TIMEOUT, Span, Telemetry
+
+__all__ = ["run_suite_parallel", "DEFAULT_KILL_GRACE_SECONDS"]
+
+#: Supervisor poll interval while waiting for worker messages.
+_POLL_SECONDS = 0.05
+
+#: Extra wall-clock headroom past a cell's summed trial budgets before the
+#: parent hard-kills the worker (covers prepare/verify and IPC latency).
+DEFAULT_KILL_GRACE_SECONDS = 2.0
+
+
+@dataclass(frozen=True)
+class _Cell:
+    """One schedulable unit: a (graph, mode, kernel, framework) cell."""
+
+    index: int
+    graph: str
+    mode: Mode
+    kernel: str
+    framework: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.mode.value}/{self.graph}/{self.kernel}/{self.framework}"
+
+
+def _cell_budget(spec: BenchmarkSpec, kernel: str, grace: float) -> float:
+    """Hard wall-clock budget for one cell (sum of trial deadlines + grace)."""
+    return spec.trial_timeout * spec.num_trials(kernel) + grace
+
+
+def _worker_main(
+    slot: int,
+    tasks,
+    results,
+    spec: BenchmarkSpec,
+    handles: Mapping[str, SharedCaseHandle],
+    frameworks: Mapping[str, Framework],
+    track_memory: bool,
+) -> None:
+    """Worker loop: attach the shared corpus, then drain cells until sentinel.
+
+    Runs on the worker's main thread, so ``run_cell``'s in-process SIGALRM
+    deadline is armed and catches interruptible overruns without costing a
+    process kill; the parent's hard kill is the backstop for the rest.
+    """
+    attached = {name: attach_case(handle) for name, handle in handles.items()}
+    telemetry = Telemetry(track_memory=track_memory)
+    try:
+        while True:
+            cell = tasks.get()
+            if cell is None:
+                results.put(("exit", slot))
+                return
+            results.put(("start", slot, cell.index))
+            case = attached[cell.graph].case
+            framework = frameworks[cell.framework]
+            try:
+                result = run_cell(
+                    framework, cell.kernel, case, cell.mode, spec,
+                    telemetry=telemetry,
+                )
+            except TrialTimeoutError as exc:
+                result = _failed_result(
+                    framework, cell.kernel, case, cell.mode, "timeout", exc
+                )
+            except Exception as exc:
+                result = _failed_result(
+                    framework, cell.kernel, case, cell.mode, "error", exc
+                )
+            spans = [span.as_dict() for span in telemetry.spans]
+            telemetry.spans.clear()
+            results.put(("done", slot, cell.index, result, spans))
+    finally:
+        for attachment in attached.values():
+            attachment.close()
+
+
+def _killed_cell_span(cell: _Cell, status: str, message: str, wall: float) -> Span:
+    """Parent-side span for a cell whose worker never reported back."""
+    span = Span(
+        name="cell",
+        attributes={
+            "framework": cell.framework,
+            "kernel": cell.kernel,
+            "graph": cell.graph,
+            "mode": cell.mode.value,
+        },
+        status=status,
+        wall_seconds=wall,
+    )
+    span.error = {
+        "type": "TrialTimeoutError" if status == STATUS_TIMEOUT else "WorkerCrash",
+        "message": message,
+        "traceback": "",
+    }
+    return span
+
+
+def run_suite_parallel(
+    frameworks: Iterable[Framework],
+    graph_names: Iterable[str],
+    kernels: Iterable[str] = KERNELS,
+    modes: Iterable[Mode] = (Mode.BASELINE, Mode.OPTIMIZED),
+    spec: BenchmarkSpec | None = None,
+    jobs: int = 2,
+    progress: Callable[[str], None] | None = None,
+    telemetry: Telemetry | None = None,
+    strict: bool = False,
+    cache: GraphCache | None = None,
+    kill_grace: float = DEFAULT_KILL_GRACE_SECONDS,
+) -> ResultSet:
+    """Run a campaign over a process pool; see the module docstring.
+
+    Prefer calling ``run_suite(..., jobs=N)``, which dispatches here; this
+    entry point additionally exposes ``kill_grace`` (headroom past a
+    cell's trial budgets before the hard kill) for tests and benches.
+    """
+    spec = spec or BenchmarkSpec()
+    tel = telemetry if telemetry is not None else Telemetry()
+    framework_list = list(frameworks)
+    frameworks_by_name = {fw.name: fw for fw in framework_list}
+    graph_names = list(graph_names)
+    kernels = list(kernels)
+    modes = list(modes)
+
+    cells: list[_Cell] = []
+    for graph_name in graph_names:
+        for mode in modes:
+            for kernel in kernels:
+                for framework in framework_list:
+                    cells.append(
+                        _Cell(len(cells), graph_name, mode, kernel, framework.name)
+                    )
+    if not cells:
+        return ResultSet()
+    jobs = max(1, min(int(jobs), len(cells)))
+
+    # fork shares the already-imported interpreter state and is cheap;
+    # spawn is the portable fallback (frameworks/spec pickle either way).
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    task_queue = ctx.Queue()
+    result_queue = ctx.Queue()
+
+    shared: dict[str, SharedCase] = {}
+    workers: dict[int, dict[str, object]] = {}
+    results_by_index: dict[int, RunResult] = {}
+
+    def spawn(slot: int) -> None:
+        process = ctx.Process(
+            target=_worker_main,
+            args=(
+                slot,
+                task_queue,
+                result_queue,
+                spec,
+                {name: sc.handle for name, sc in shared.items()},
+                frameworks_by_name,
+                tel.track_memory,
+            ),
+            daemon=True,
+        )
+        process.start()
+        workers[slot] = {
+            "process": process,
+            "cell": None,
+            "deadline": None,
+            "started": 0.0,
+            "exited": False,
+        }
+
+    def record_lost_cell(slot: int, cell: _Cell, status: str, message: str) -> None:
+        """Account a cell whose worker was killed or crashed."""
+        state = workers[slot]
+        results_by_index[cell.index] = RunResult(
+            framework=cell.framework,
+            kernel=cell.kernel,
+            graph=cell.graph,
+            mode=cell.mode,
+            trial_seconds=[],
+            verified=False,
+            status=status,
+            error=message,
+        )
+        tel.ingest(
+            _killed_cell_span(
+                cell, status, message, time.monotonic() - state["started"]
+            )
+        )
+
+    try:
+        # Build the corpus once (cache-aware) and publish it.
+        for graph_name in graph_names:
+            shared[graph_name] = SharedCase(build_case(graph_name, spec, cache))
+
+        for cell in cells:
+            task_queue.put(cell)
+        for _ in range(jobs):
+            task_queue.put(None)
+        for slot in range(jobs):
+            spawn(slot)
+
+        completed = 0
+        while completed < len(cells):
+            try:
+                message = result_queue.get(timeout=_POLL_SECONDS)
+            except queue_mod.Empty:
+                message = None
+            if message is not None:
+                kind = message[0]
+                if kind == "start":
+                    _, slot, index = message
+                    state = workers[slot]
+                    state["cell"] = cells[index]
+                    state["started"] = time.monotonic()
+                    state["deadline"] = (
+                        state["started"]
+                        + _cell_budget(spec, cells[index].kernel, kill_grace)
+                        if spec.trial_timeout is not None
+                        else None
+                    )
+                    if progress is not None:
+                        progress(cells[index].label)
+                elif kind == "done":
+                    _, slot, index, result, span_records = message
+                    state = workers[slot]
+                    state["cell"] = None
+                    state["deadline"] = None
+                    if index in results_by_index:
+                        # Raced with a hard kill that already accounted it.
+                        continue
+                    results_by_index[index] = result
+                    completed += 1
+                    for record in span_records:
+                        tel.ingest(Span.from_dict(record))
+                    if strict and not result.ok:
+                        if result.status == STATUS_TIMEOUT:
+                            raise TrialTimeoutError(
+                                f"cell {cells[index].label}: {result.error}"
+                            )
+                        raise CellFailedError(
+                            f"cell {cells[index].label} failed: {result.error}"
+                        )
+                elif kind == "exit":
+                    _, slot = message
+                    workers[slot]["exited"] = True
+
+            now = time.monotonic()
+            for slot in list(workers):
+                state = workers[slot]
+                process = state["process"]
+                cell = state["cell"]
+                if cell is None:
+                    # A worker that died between cells (or failed to start)
+                    # is replaced so the queue keeps draining; exit code 0
+                    # means its "exit" message is simply still in flight.
+                    if not process.is_alive() and not state["exited"]:
+                        if process.exitcode == 0:
+                            state["exited"] = True
+                        elif completed < len(cells):
+                            spawn(slot)
+                    continue
+                overdue = state["deadline"] is not None and now > state["deadline"]
+                died = not process.is_alive()
+                if not overdue and not died:
+                    continue
+                if overdue and process.is_alive():
+                    process.terminate()
+                    process.join(1.0)
+                    if process.is_alive():  # pragma: no cover - SIGTERM blocked
+                        process.kill()
+                        process.join(1.0)
+                    status = STATUS_TIMEOUT
+                    message_text = (
+                        f"hard deadline: cell exceeded "
+                        f"{_cell_budget(spec, cell.kernel, kill_grace):.6g}s "
+                        f"({spec.num_trials(cell.kernel)} trial(s) x "
+                        f"{spec.trial_timeout:.6g}s + {kill_grace:.6g}s grace); "
+                        "worker killed"
+                    )
+                else:
+                    status = STATUS_ERROR
+                    message_text = (
+                        f"worker process died mid-cell "
+                        f"(exit code {process.exitcode})"
+                    )
+                record_lost_cell(slot, cell, status, message_text)
+                completed += 1
+                state["cell"] = None
+                state["deadline"] = None
+                if strict:
+                    if status == STATUS_TIMEOUT:
+                        raise TrialTimeoutError(f"cell {cell.label}: {message_text}")
+                    raise CellFailedError(f"cell {cell.label}: {message_text}")
+                if completed < len(cells):
+                    # The killed worker never consumed its shutdown
+                    # sentinel; the replacement inherits it.
+                    spawn(slot)
+
+        # Campaign complete: let workers drain their sentinels and exit.
+        for state in workers.values():
+            process = state["process"]
+            process.join(5.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(1.0)
+    finally:
+        for state in workers.values():
+            process = state["process"]
+            if process.is_alive():
+                process.terminate()
+                process.join(1.0)
+        for q in (task_queue, result_queue):
+            q.close()
+            q.cancel_join_thread()
+        for shared_case in shared.values():
+            shared_case.close(unlink=True)
+
+    return ResultSet([results_by_index[index] for index in range(len(cells))])

@@ -47,6 +47,17 @@ class RunResult:
         return self.status == "ok"
 
     @property
+    def cell_key(self) -> tuple[str, str, str, str]:
+        """Canonical cell identity: ``(graph, mode, kernel, framework)``.
+
+        The campaign enumerates cells in this nesting order; serial and
+        parallel executions of the same campaign produce result sets whose
+        ``cell_key`` sequences are identical (the equivalence tests key on
+        it).
+        """
+        return (self.graph, self.mode.value, self.kernel, self.framework)
+
+    @property
     def seconds(self) -> float:
         """Average trial time — GAP's reported statistic (NaN if no trial)."""
         if not self.trial_seconds:

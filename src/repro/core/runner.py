@@ -33,6 +33,7 @@ import numpy as np
 from ..frameworks.base import KERNELS, Framework, Mode, RunContext
 from ..generators import build_graph, weighted_version
 from ..graphs import CSRGraph
+from ..graphs.cache import GraphCache
 from . import counters as counters_mod
 from . import verify
 from .memory import track_peak_memory
@@ -40,7 +41,7 @@ from .results import ResultSet, RunResult
 from .spec import BenchmarkSpec, SourcePicker
 from .telemetry import STATUS_OK, Span, Telemetry, TrialDeadline
 
-__all__ = ["GraphCase", "run_cell", "run_suite"]
+__all__ = ["GraphCase", "build_case", "run_cell", "run_suite"]
 
 
 @dataclass(frozen=True)
@@ -73,6 +74,31 @@ class GraphCase:
         weighted = graph if graph.is_weighted else weighted_version(graph, seed=seed)
         undirected = graph.to_undirected() if graph.directed else graph
         return cls(name, graph, weighted, undirected)
+
+
+def build_case(graph_name: str, spec: BenchmarkSpec, cache: GraphCache | None = None) -> GraphCase:
+    """Build one corpus case, going through the graph cache when given.
+
+    A cache hit skips generation *and* derived-view construction entirely
+    (the artifact stores all three views with their aliasing); a miss
+    builds the case and persists it for the next campaign.
+    """
+    if cache is not None:
+        views = cache.load_views(graph_name, spec.scale, spec.seed)
+        if views is not None:
+            return GraphCase(graph_name, *views)
+    case = GraphCase.build(graph_name, scale=spec.scale, seed=spec.seed)
+    if cache is not None:
+        try:
+            cache.store_views(
+                graph_name, spec.scale, spec.seed,
+                case.graph, case.weighted, case.undirected,
+            )
+        except OSError:
+            # The cache is an optimization: a full or unwritable disk must
+            # not sink a campaign whose graph is already built.
+            pass
+    return case
 
 
 def _kernel_input(case: GraphCase, kernel: str) -> CSRGraph:
@@ -253,6 +279,14 @@ def run_cell(
             # Mark the span before the finally materializes trial records,
             # so the interrupted trial carries the failure status.
             cell.fail(exc)
+            overrun = deadline.last_overrun
+            if overrun is not None and not overrun.get("interrupted", True):
+                # The deadline fired but could not stop the trial (a long
+                # C call, or no signal support): the kernel ran to
+                # completion and real wall time exceeded the budget.
+                cell.warnings.append(
+                    {"warning": "deadline-overrun-uninterrupted", **overrun}
+                )
             raise
         finally:
             _attach_cell_detail(
@@ -303,6 +337,8 @@ def run_suite(
     progress: Callable[[str], None] | None = None,
     telemetry: Telemetry | None = None,
     strict: bool = False,
+    jobs: int | None = None,
+    cache: GraphCache | None = None,
 ) -> ResultSet:
     """Run the full campaign; returns all cell results.
 
@@ -311,8 +347,31 @@ def run_suite(
     ``error``/``timeout`` results (traced by ``telemetry``) and every
     other cell still runs.  ``strict=True`` restores fail-fast: the first
     failing cell re-raises.
+
+    ``jobs`` (default ``spec.jobs``) > 1 dispatches to the process-pool
+    executor (:mod:`repro.core.executor`): cells are sharded across
+    worker processes over a shared-memory corpus, and the per-trial
+    deadline becomes a *hard* kill.  ``jobs=1`` is the in-process serial
+    path, where the deadline is soft (see :class:`TrialDeadline`).
+    ``cache`` routes graph building through a persistent on-disk cache.
     """
     spec = spec or BenchmarkSpec()
+    effective_jobs = spec.jobs if jobs is None else int(jobs)
+    if effective_jobs > 1:
+        from .executor import run_suite_parallel
+
+        return run_suite_parallel(
+            frameworks,
+            graph_names,
+            kernels=kernels,
+            modes=modes,
+            spec=spec,
+            jobs=effective_jobs,
+            progress=progress,
+            telemetry=telemetry,
+            strict=strict,
+            cache=cache,
+        )
     tel = telemetry if telemetry is not None else Telemetry()
     frameworks = list(frameworks)
     kernels = list(kernels)
@@ -321,7 +380,7 @@ def run_suite(
     from ..errors import TrialTimeoutError
 
     for graph_name in graph_names:
-        case = GraphCase.build(graph_name, scale=spec.scale, seed=spec.seed)
+        case = build_case(graph_name, spec, cache)
         for mode in modes:
             for kernel in kernels:
                 for framework in frameworks:

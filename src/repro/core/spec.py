@@ -64,7 +64,12 @@ class BenchmarkSpec:
     verify: bool = True
     #: Wall-clock budget per trial, in seconds (None = unlimited).  A trial
     #: over budget is recorded with status "timeout" instead of a timing.
+    #: In-process (jobs=1) the deadline is soft; under the process-pool
+    #: executor (jobs>1) an over-budget worker is hard-killed.
     trial_timeout: float | None = None
+    #: Worker processes for the campaign.  1 = serial in-process execution;
+    #: >1 shards cells across a process pool over a shared-memory corpus.
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         unknown = set(self.trials) - set(KERNELS)
@@ -76,6 +81,8 @@ class BenchmarkSpec:
             raise BenchmarkConfigError("bc_roots must be positive")
         if self.trial_timeout is not None and self.trial_timeout <= 0:
             raise BenchmarkConfigError("trial_timeout must be positive (or None)")
+        if self.jobs < 1:
+            raise BenchmarkConfigError("jobs must be >= 1")
 
     def num_trials(self, kernel: str) -> int:
         """Trial count for a kernel (default 3)."""

@@ -94,6 +94,7 @@ class Span:
     counters: dict[str, object] | None = None
     peak_mem_bytes: int | None = None
     error: dict[str, str] | None = None
+    warnings: list[dict[str, object]] = field(default_factory=list)
 
     def fail(self, exc: BaseException, status: str | None = None) -> None:
         """Mark this span failed, capturing the exception structurally."""
@@ -131,9 +132,43 @@ class Span:
             record["peak_mem_bytes"] = self.peak_mem_bytes
         if self.error is not None:
             record["error"] = self.error
+        if self.warnings:
+            record["warnings"] = self.warnings
         if self.children:
             record["children"] = [span.as_dict() for span in self.children]
         return record
+
+    @classmethod
+    def from_dict(cls, record: dict[str, object]) -> "Span":
+        """Rebuild a span from its :meth:`as_dict` form.
+
+        The inverse used when merging spans streamed out of worker
+        processes; unknown keys are treated as attributes, matching how
+        ``as_dict`` flattens them.
+        """
+        reserved = {
+            "span",
+            "status",
+            "wall_seconds",
+            "trials",
+            "counters",
+            "peak_mem_bytes",
+            "error",
+            "warnings",
+            "children",
+        }
+        return cls(
+            name=str(record.get("span", "span")),
+            attributes={k: v for k, v in record.items() if k not in reserved},
+            status=str(record.get("status", STATUS_OK)),
+            wall_seconds=float(record.get("wall_seconds", 0.0)),
+            children=[cls.from_dict(child) for child in record.get("children", [])],
+            trials=list(record.get("trials", [])),
+            counters=record.get("counters"),
+            peak_mem_bytes=record.get("peak_mem_bytes"),
+            error=record.get("error"),
+            warnings=list(record.get("warnings", [])),
+        )
 
 
 class JsonlSink:
@@ -228,6 +263,16 @@ class Telemetry:
         """The innermost open span, or None."""
         return self._stack[-1] if self._stack else None
 
+    def ingest(self, span: Span) -> None:
+        """Record a span that completed elsewhere (e.g. a worker process).
+
+        The parallel executor rebuilds worker spans with
+        :meth:`Span.from_dict` and merges them here, so one collector — and
+        one JSONL sink — holds the whole campaign regardless of how many
+        processes measured it.
+        """
+        self._finish(span)
+
     def _finish(self, span: Span) -> None:
         self.spans.append(span)
         if self.sink is not None:
@@ -283,13 +328,31 @@ class TrialDeadline:
     forbids signal handlers, so the budget degrades to a monotonic check
     after the block — the trial is not interrupted, but it is still
     recorded as a timeout rather than a measurement.
+
+    Even with the signal armed, CPython only delivers it between
+    bytecodes: a trial stuck inside one long C call (a big NumPy
+    operation) runs to completion and the raise lands at the *next*
+    Python instruction.  An in-process deadline is therefore soft by
+    construction; ``last_overrun`` records, for the most recent
+    over-budget block, whether the trial was actually interrupted near
+    its budget or overran uninterrupted (and by how much), so the runner
+    can attach a structured warning to the cell span.  A *hard* guarantee
+    requires process isolation — the parallel executor
+    (:mod:`repro.core.executor`) kills over-budget workers outright.
     """
+
+    #: Overrun classification: a signal-armed trial that ended within
+    #: ``budget * (1 + fraction) + slop`` counts as interrupted in-flight.
+    _INTERRUPT_SLOP_FRACTION = 0.25
+    _INTERRUPT_SLOP_SECONDS = 0.05
 
     def __init__(self, seconds: float | None) -> None:
         self.seconds = None if seconds is None or seconds <= 0 else float(seconds)
         self._use_signal = False
         self._start = 0.0
         self._previous_handler: object = None
+        #: Structured record of the most recent over-budget block, or None.
+        self.last_overrun: dict[str, object] | None = None
 
     def _expire(self, signum, frame) -> None:
         raise TrialTimeoutError(
@@ -299,6 +362,7 @@ class TrialDeadline:
     def __enter__(self) -> "TrialDeadline":
         if self.seconds is None:
             return self
+        self.last_overrun = None
         self._start = time.monotonic()
         self._use_signal = hasattr(signal, "SIGALRM") and (
             threading.current_thread() is threading.main_thread()
@@ -311,10 +375,26 @@ class TrialDeadline:
     def __exit__(self, exc_type, exc, tb) -> bool:
         if self.seconds is None:
             return False
+        elapsed = time.monotonic() - self._start
         if self._use_signal:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, self._previous_handler)
-        if exc_type is None and time.monotonic() - self._start > self.seconds:
+        if elapsed > self.seconds:
+            interrupted = (
+                self._use_signal
+                and exc_type is not None
+                and issubclass(exc_type, TrialTimeoutError)
+                and elapsed
+                <= self.seconds * (1.0 + self._INTERRUPT_SLOP_FRACTION)
+                + self._INTERRUPT_SLOP_SECONDS
+            )
+            self.last_overrun = {
+                "budget_seconds": self.seconds,
+                "elapsed_seconds": elapsed,
+                "interrupted": interrupted,
+                "mechanism": "signal" if self._use_signal else "posthoc",
+            }
+        if exc_type is None and elapsed > self.seconds:
             raise TrialTimeoutError(
                 f"trial exceeded its {self.seconds:.6g}s deadline "
                 "(detected post-hoc: signal interruption unavailable)"

@@ -47,6 +47,15 @@ class TrialTimeoutError(ReproError):
     """A benchmark trial exceeded its per-trial wall-clock deadline."""
 
 
+class CellFailedError(ReproError):
+    """A strict parallel campaign stopped on a failed benchmark cell.
+
+    Raised by the process-pool executor in ``strict`` mode, where the
+    original exception died with the worker; the message carries the
+    cell identity and the worker-side error text.
+    """
+
+
 class UnknownFrameworkError(ReproError):
     """A framework name was requested that is not in the registry."""
 

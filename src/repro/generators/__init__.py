@@ -9,6 +9,7 @@ Each generator reproduces one topology class from the paper's corpus:
 from .registry import (
     DEFAULT_SCALE,
     GAP_GRAPHS,
+    GENERATOR_VERSION,
     GRAPH_NAMES,
     GraphSpec,
     build_corpus,
@@ -24,6 +25,7 @@ from .web import web_edges
 __all__ = [
     "DEFAULT_SCALE",
     "GAP_GRAPHS",
+    "GENERATOR_VERSION",
     "GRAPH_NAMES",
     "GRAPH500_INITIATOR",
     "GraphSpec",

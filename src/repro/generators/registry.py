@@ -34,12 +34,19 @@ __all__ = [
     "build_corpus",
     "weighted_version",
     "DEFAULT_SCALE",
+    "GENERATOR_VERSION",
 ]
 
 # Default scale for the analog corpus: 2**13 = 8192 vertices keeps the full
 # 6-kernel x 5-graph x 6-framework sweep tractable in pure Python while
 # leaving every topology contrast (diameter, skew) intact.
 DEFAULT_SCALE = 13
+
+# Version of the corpus generators, part of every on-disk graph-cache key
+# (see repro.graphs.cache).  Bump whenever a change to any generator, to
+# weighted_version, or to CSR construction alters generated graphs, so
+# stale cached corpora are invalidated instead of silently reused.
+GENERATOR_VERSION = "1"
 
 
 @dataclass(frozen=True)

@@ -5,6 +5,7 @@ framework in the paper builds on: a general-purpose CSR format storing both
 edge directions, with deduplicated, destination-sorted adjacency.
 """
 
+from .cache import GraphCache, decompose_case, default_cache_dir, recompose_case
 from .csr import CSRGraph
 from .edgelist import EdgeList
 from .io import load_npz, read_edge_list, save_npz, write_edge_list
@@ -34,6 +35,10 @@ from .transforms import (
 __all__ = [
     "CSRGraph",
     "EdgeList",
+    "GraphCache",
+    "decompose_case",
+    "default_cache_dir",
+    "recompose_case",
     "GraphProperties",
     "TopologySummary",
     "assortativity",

@@ -1,0 +1,263 @@
+"""Persistent on-disk cache for generated benchmark graphs.
+
+Generating the corpus dominates campaign startup: every ``run_suite``
+invocation (and every test session) rebuilds each graph from its
+generator even though the output is a pure function of
+``(name, scale, seed, generator-version)``.  GAP itself treats graph
+building as untimed and amortized across kernels; this cache amortizes it
+across *campaigns* — a warm hit skips generation (and the derived-view
+construction) entirely.
+
+Artifacts are ``.npz`` files holding one full benchmark case — the base
+graph plus its weighted and undirected views, with object-level aliasing
+preserved (a view that *is* the base graph stays the same object after a
+round trip, and arrays shared between views are stored once).  Writes are
+atomic (temp file + ``os.replace``) and every artifact carries a SHA-256
+sidecar that is validated on load, so a torn or corrupted file degrades
+to a cache miss instead of a wrong graph.
+
+Keys include :data:`repro.generators.registry.GENERATOR_VERSION`; bumping
+it when generator logic changes invalidates every stale artifact.
+
+This module also provides the case (de)composition helpers —
+:func:`decompose_case` / :func:`recompose_case` — used by
+:mod:`repro.core.sharedmem` to publish the same structure over
+shared-memory segments.  (For single graphs without views, see
+:func:`repro.graphs.io.save_npz`.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .csr import CSRGraph
+
+__all__ = [
+    "GraphCache",
+    "decompose_case",
+    "recompose_case",
+    "default_cache_dir",
+]
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Order of the six CSR arrays in a graph's slot table.
+_ARRAY_FIELDS = (
+    "indptr",
+    "indices",
+    "weights",
+    "in_indptr",
+    "in_indices",
+    "in_weights",
+)
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/graphs``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "graphs"
+
+
+# ----------------------------------------------------------------------
+# Case (de)composition: a benchmark case as flat arrays + a layout dict
+# ----------------------------------------------------------------------
+
+
+def decompose_case(
+    graph: CSRGraph, weighted: CSRGraph, undirected: CSRGraph
+) -> tuple[dict[str, object], list[np.ndarray]]:
+    """Flatten a case's three views into unique arrays plus a layout.
+
+    Views that alias each other (``weighted`` may *be* ``graph``;
+    ``undirected`` aliases it for already-undirected inputs) and arrays
+    shared between views (an undirected graph's in-adjacency aliases its
+    out-adjacency) are recorded once; the layout references them by index,
+    so a recomposed case reproduces the exact aliasing structure.
+
+    Returns ``(layout, arrays)`` where ``layout`` is JSON/pickle-safe.
+    """
+    views = (graph, weighted, undirected)
+    unique_graphs: list[CSRGraph] = []
+    graph_index: dict[int, int] = {}
+    for view in views:
+        if id(view) not in graph_index:
+            graph_index[id(view)] = len(unique_graphs)
+            unique_graphs.append(view)
+
+    arrays: list[np.ndarray] = []
+    array_index: dict[int, int] = {}
+
+    def slot(array: np.ndarray | None) -> int:
+        if array is None:
+            return -1
+        if id(array) not in array_index:
+            array_index[id(array)] = len(arrays)
+            arrays.append(array)
+        return array_index[id(array)]
+
+    graph_layouts = [
+        {
+            "num_vertices": g.num_vertices,
+            "directed": bool(g.directed),
+            "slots": [slot(getattr(g, name)) for name in _ARRAY_FIELDS],
+        }
+        for g in unique_graphs
+    ]
+    layout = {
+        "graphs": graph_layouts,
+        "views": [graph_index[id(view)] for view in views],
+    }
+    return layout, arrays
+
+
+def recompose_case(
+    layout: dict[str, object], arrays: list[np.ndarray]
+) -> tuple[CSRGraph, CSRGraph, CSRGraph]:
+    """Rebuild ``(graph, weighted, undirected)`` from a layout + arrays.
+
+    The inverse of :func:`decompose_case`: aliased views come back as the
+    same :class:`CSRGraph` object and shared arrays as the same ndarray.
+    """
+    unique_graphs: list[CSRGraph] = []
+    for entry in layout["graphs"]:
+        slots = entry["slots"]
+        fields = [None if index < 0 else arrays[index] for index in slots]
+        unique_graphs.append(
+            CSRGraph(
+                int(entry["num_vertices"]),
+                fields[0],
+                fields[1],
+                fields[2],
+                fields[3],
+                fields[4],
+                fields[5],
+                directed=bool(entry["directed"]),
+            )
+        )
+    graph, weighted, undirected = (unique_graphs[i] for i in layout["views"])
+    return graph, weighted, undirected
+
+
+# ----------------------------------------------------------------------
+# The persistent cache
+# ----------------------------------------------------------------------
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as stream:
+        for block in iter(lambda: stream.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+class GraphCache:
+    """Content-validated ``.npz`` store of prebuilt benchmark cases.
+
+    ``root`` defaults to :func:`default_cache_dir`; ``version`` defaults
+    to the generators' :data:`GENERATOR_VERSION` (overridable for tests).
+    ``hits`` / ``misses`` count lookups for the scaling bench.
+    """
+
+    def __init__(
+        self, root: str | Path | None = None, version: str | None = None
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self._version = version
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def version(self) -> str:
+        if self._version is None:
+            from ..generators.registry import GENERATOR_VERSION
+
+            self._version = GENERATOR_VERSION
+        return self._version
+
+    def path_for(self, name: str, scale: int, seed: int) -> Path:
+        """Artifact path for one ``(name, scale, seed, version)`` key."""
+        return self.root / f"{name}-s{scale}-r{seed}-g{self.version}.npz"
+
+    @staticmethod
+    def _checksum_path(path: Path) -> Path:
+        return path.with_suffix(path.suffix + ".sha256")
+
+    # -- store ----------------------------------------------------------
+
+    def store_views(
+        self,
+        name: str,
+        scale: int,
+        seed: int,
+        graph: CSRGraph,
+        weighted: CSRGraph,
+        undirected: CSRGraph,
+    ) -> Path:
+        """Atomically persist one case; returns the artifact path."""
+        layout, arrays = decompose_case(graph, weighted, undirected)
+        meta = {
+            "key": {
+                "name": name,
+                "scale": int(scale),
+                "seed": int(seed),
+                "version": self.version,
+            },
+            "layout": layout,
+        }
+        path = self.path_for(name, scale, seed)
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {f"array_{i}": array for i, array in enumerate(arrays)}
+        payload["meta"] = np.array(json.dumps(meta))
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".npz.tmp")
+        tmp = Path(tmp_name)
+        try:
+            with os.fdopen(fd, "wb") as stream:
+                np.savez(stream, **payload)
+            digest = _sha256(tmp)
+            checksum_tmp = tmp.with_suffix(".sha256.tmp")
+            checksum_tmp.write_text(digest + "\n", encoding="ascii")
+            # Artifact first, checksum second: any interruption leaves a
+            # mismatched pair, which load_views treats as a miss.
+            os.replace(tmp, path)
+            os.replace(checksum_tmp, self._checksum_path(path))
+        finally:
+            tmp.unlink(missing_ok=True)
+            tmp.with_suffix(".sha256.tmp").unlink(missing_ok=True)
+        return path
+
+    # -- load -----------------------------------------------------------
+
+    def load_views(
+        self, name: str, scale: int, seed: int
+    ) -> tuple[CSRGraph, CSRGraph, CSRGraph] | None:
+        """Load a cached case, or None on any miss/stale/corrupt artifact."""
+        path = self.path_for(name, scale, seed)
+        checksum_path = self._checksum_path(path)
+        try:
+            expected = checksum_path.read_text(encoding="ascii").strip()
+            if _sha256(path) != expected:
+                self.misses += 1
+                return None
+            with np.load(path, allow_pickle=False) as data:
+                meta = json.loads(str(data["meta"]))
+                arrays = [
+                    data[f"array_{i}"]
+                    for i in range(sum(1 for k in data.files if k != "meta"))
+                ]
+            views = recompose_case(meta["layout"], arrays)
+        except (OSError, ValueError, KeyError, GraphFormatError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return views

@@ -1,0 +1,134 @@
+"""Persistent graph-cache tests: round trips, keys, and corruption.
+
+The cache's contract (``repro/graphs/cache.py``): a hit returns a case
+array-equal to a freshly generated one with the exact aliasing structure,
+a hit does **no** generator work, keys include the generator version so a
+bump invalidates stale artifacts, and a corrupted or torn artifact
+degrades to a miss — never to a wrong graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BenchmarkSpec, GraphCase, build_case
+from repro.core import runner as runner_mod
+from repro.generators import GENERATOR_VERSION
+from repro.graphs import GraphCache
+
+SCALE = 8
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return GraphCache(tmp_path)
+
+
+def _store(cache, name, seed=0):
+    case = GraphCase.build(name, scale=SCALE, seed=seed)
+    cache.store_views(name, SCALE, seed, case.graph, case.weighted, case.undirected)
+    return case
+
+
+def _assert_graph_equal(loaded, fresh):
+    assert loaded.num_vertices == fresh.num_vertices
+    assert loaded.directed == fresh.directed
+    for field in ("indptr", "indices", "weights", "in_indptr", "in_indices", "in_weights"):
+        fresh_array = getattr(fresh, field)
+        loaded_array = getattr(loaded, field)
+        if fresh_array is None:
+            assert loaded_array is None
+        else:
+            assert np.array_equal(loaded_array, fresh_array), field
+
+
+@pytest.mark.parametrize("name", ["kron", "road", "urand"])
+def test_round_trip_is_array_equal(cache, name):
+    fresh = _store(cache, name)
+    views = cache.load_views(name, SCALE, 0)
+    assert views is not None
+    graph, weighted, undirected = views
+    _assert_graph_equal(graph, fresh.graph)
+    _assert_graph_equal(weighted, fresh.weighted)
+    _assert_graph_equal(undirected, fresh.undirected)
+    assert cache.hits == 1
+
+
+def test_round_trip_preserves_aliasing(cache):
+    """View- and array-level aliasing survives the npz round trip."""
+    fresh = _store(cache, "urand")  # undirected: undirected view is the graph
+    graph, weighted, undirected = cache.load_views("urand", SCALE, 0)
+    assert (fresh.undirected is fresh.graph) == (undirected is graph)
+    assert (fresh.weighted is fresh.graph) == (weighted is graph)
+    # An undirected graph's in-adjacency aliases its out-adjacency.
+    if not graph.directed:
+        assert graph.in_indptr is graph.indptr
+        assert graph.in_indices is graph.indices
+
+
+def test_cache_hit_does_no_generator_work(cache, monkeypatch):
+    """A warm cache must satisfy build_case without touching the generator."""
+    _store(cache, "kron")
+    spec = BenchmarkSpec(scale=SCALE)
+
+    def explode(*args, **kwargs):
+        raise AssertionError("generator invoked on a warm cache")
+
+    monkeypatch.setattr(runner_mod, "build_graph", explode)
+    case = build_case("kron", spec, cache)
+    assert case.name == "kron"
+    assert cache.hits == 1
+
+
+def test_build_case_populates_cache_on_miss(cache):
+    spec = BenchmarkSpec(scale=SCALE)
+    first = build_case("road", spec, cache)
+    assert cache.misses == 1 and cache.hits == 0
+    second = build_case("road", spec, cache)
+    assert cache.hits == 1
+    _assert_graph_equal(second.graph, first.graph)
+
+
+def test_generator_version_bump_invalidates(tmp_path):
+    old = GraphCache(tmp_path, version="test-1")
+    _store(old, "kron")
+    assert old.load_views("kron", SCALE, 0) is not None
+    bumped = GraphCache(tmp_path, version="test-2")
+    assert bumped.load_views("kron", SCALE, 0) is None
+    assert bumped.misses == 1
+
+
+def test_default_version_is_generator_version(cache):
+    assert cache.version == GENERATOR_VERSION
+
+
+def test_distinct_keys_per_scale_and_seed(cache):
+    paths = {
+        cache.path_for("kron", scale, seed)
+        for scale in (8, 9)
+        for seed in (0, 1)
+    }
+    assert len(paths) == 4
+
+
+def test_corrupted_artifact_is_a_miss(cache):
+    _store(cache, "kron")
+    path = cache.path_for("kron", SCALE, 0)
+    payload = bytearray(path.read_bytes())
+    payload[len(payload) // 2] ^= 0xFF
+    path.write_bytes(bytes(payload))
+    assert cache.load_views("kron", SCALE, 0) is None
+    # A rebuild through build_case repairs the artifact.
+    build_case("kron", BenchmarkSpec(scale=SCALE), cache)
+    assert cache.load_views("kron", SCALE, 0) is not None
+
+
+def test_missing_checksum_is_a_miss(cache):
+    _store(cache, "kron")
+    GraphCache._checksum_path(cache.path_for("kron", SCALE, 0)).unlink()
+    assert cache.load_views("kron", SCALE, 0) is None
+
+
+def test_store_leaves_no_temp_files(cache):
+    _store(cache, "kron")
+    leftovers = [p for p in cache.root.iterdir() if p.suffix == ".tmp"]
+    assert leftovers == []

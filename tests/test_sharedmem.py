@@ -1,0 +1,130 @@
+"""Shared-memory corpus tests: zero-copy attach, aliasing, lifecycle.
+
+``repro/core/sharedmem.py`` publishes a prebuilt ``GraphCase`` as one
+shared segment; workers attach read-only NumPy views.  These tests pin
+the three properties the executor depends on: attached cases are
+array-equal to the source, views are genuinely zero-copy over the shared
+segment (a write through another mapping is visible), and the aliasing
+invariants of ``GraphCase`` survive the trip.
+"""
+
+import pickle
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core import GraphCase
+from repro.core.sharedmem import attach_case, export_case
+
+SCALE = 8
+
+
+@pytest.fixture(scope="module", params=["kron", "road", "urand"])
+def case(request):
+    return GraphCase.build(request.param, scale=SCALE)
+
+
+def _assert_case_equal(attached, original):
+    for view in ("graph", "weighted", "undirected"):
+        got = getattr(attached, view)
+        want = getattr(original, view)
+        assert got.num_vertices == want.num_vertices
+        assert got.directed == want.directed
+        for field in ("indptr", "indices", "weights",
+                      "in_indptr", "in_indices", "in_weights"):
+            want_array = getattr(want, field)
+            got_array = getattr(got, field)
+            if want_array is None:
+                assert got_array is None
+            else:
+                assert np.array_equal(got_array, want_array), (view, field)
+
+
+def test_attach_round_trip(case):
+    owner = export_case(case)
+    try:
+        attached = attach_case(owner.handle)
+        try:
+            _assert_case_equal(attached.case, case)
+        finally:
+            attached.close()
+    finally:
+        owner.close()
+
+
+def test_attached_views_are_zero_copy(case):
+    """A write through a second mapping is visible in the attached arrays."""
+    owner = export_case(case)
+    try:
+        attached = attach_case(owner.handle)
+        probe = shared_memory.SharedMemory(name=owner.handle.segment)
+        try:
+            offset, dtype, shape = owner.handle.arrays[0]
+            writable = np.ndarray(shape, dtype=np.dtype(dtype),
+                                  buffer=probe.buf, offset=offset)
+            original = writable.ravel()[0]
+            sentinel = original + 7
+            writable.ravel()[0] = sentinel
+            assert attached.case.graph.indptr.ravel()[0] == sentinel
+            writable.ravel()[0] = original
+        finally:
+            del writable
+            probe.close()
+            attached.close()
+    finally:
+        owner.close()
+
+
+def test_attached_views_are_read_only(case):
+    owner = export_case(case)
+    try:
+        attached = attach_case(owner.handle)
+        try:
+            with pytest.raises(ValueError):
+                attached.case.graph.indices[0] = 0
+        finally:
+            attached.close()
+    finally:
+        owner.close()
+
+
+def test_aliasing_preserved(case):
+    owner = export_case(case)
+    try:
+        attached = attach_case(owner.handle).case
+        assert (attached.weighted is attached.graph) == (
+            case.weighted is case.graph
+        )
+        assert (attached.undirected is attached.graph) == (
+            case.undirected is case.graph
+        )
+        if not attached.graph.directed:
+            assert attached.graph.in_indptr is attached.graph.indptr
+    finally:
+        owner.close()
+
+
+def test_handle_is_picklable(case):
+    """Handles cross process boundaries; CSR arrays must not ride along."""
+    owner = export_case(case)
+    try:
+        blob = pickle.dumps(owner.handle)
+        # Orders of magnitude smaller than the graph itself: layout only.
+        assert len(blob) < 4096
+        handle = pickle.loads(blob)
+        attached = attach_case(handle)
+        try:
+            _assert_case_equal(attached.case, case)
+        finally:
+            attached.close()
+    finally:
+        owner.close()
+
+
+def test_unlink_removes_segment(case):
+    owner = export_case(case)
+    segment = owner.handle.segment
+    owner.close(unlink=True)
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=segment)

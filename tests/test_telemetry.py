@@ -10,6 +10,7 @@ JSONL trace and the report failure table, and exits nonzero only under
 """
 
 import dataclasses
+import signal
 import threading
 import time
 
@@ -138,6 +139,25 @@ class TestJsonlSink:
         assert records[0]["children"][0]["span"] == "inner"
 
 
+class BlockedAlarmCC(GAPReference):
+    """Overruns the deadline with SIGALRM blocked, like one long C call.
+
+    The pending signal only delivers once the mask is lifted, so the
+    deadline fires far past its budget — the shape of a kernel stuck in a
+    single NumPy operation, made deterministic.
+    """
+
+    attributes = dataclasses.replace(GAPReference.attributes, name="blocked")
+
+    def connected_components(self, graph, ctx=RunContext()):
+        signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
+        try:
+            time.sleep(0.3)
+        finally:
+            signal.pthread_sigmask(signal.SIG_UNBLOCK, {signal.SIGALRM})
+        return super().connected_components(graph, ctx)
+
+
 class TestTrialDeadline:
     def test_disabled_is_noop(self):
         with TrialDeadline(None):
@@ -172,6 +192,57 @@ class TestTrialDeadline:
         worker.join()
         assert len(caught) == 1
         assert "post-hoc" in str(caught[0])
+
+    def test_overrun_classified_interrupted_when_signal_lands(self):
+        deadline = TrialDeadline(0.05)
+        with pytest.raises(TrialTimeoutError):
+            with deadline:
+                time.sleep(5.0)
+        overrun = deadline.last_overrun
+        assert overrun is not None
+        assert overrun["interrupted"] is True
+        assert overrun["mechanism"] == "signal"
+        assert overrun["elapsed_seconds"] >= overrun["budget_seconds"]
+
+    def test_overrun_classified_uninterrupted_when_signal_blocked(self):
+        """A blocked SIGALRM models a trial stuck in one long C call."""
+        deadline = TrialDeadline(0.05)
+        with pytest.raises(TrialTimeoutError):
+            with deadline:
+                signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
+                try:
+                    time.sleep(0.3)
+                finally:
+                    signal.pthread_sigmask(
+                        signal.SIG_UNBLOCK, {signal.SIGALRM}
+                    )
+        overrun = deadline.last_overrun
+        assert overrun is not None
+        assert overrun["interrupted"] is False
+        assert overrun["elapsed_seconds"] > overrun["budget_seconds"]
+
+    def test_overrun_classified_posthoc_off_main_thread(self):
+        overruns = []
+
+        def run():
+            deadline = TrialDeadline(0.01)
+            try:
+                with deadline:
+                    time.sleep(0.05)
+            except TrialTimeoutError:
+                overruns.append(deadline.last_overrun)
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        worker.join()
+        assert overruns[0]["mechanism"] == "posthoc"
+        assert overruns[0]["interrupted"] is False
+
+    def test_within_budget_leaves_no_overrun(self):
+        deadline = TrialDeadline(5.0)
+        with deadline:
+            pass
+        assert deadline.last_overrun is None
 
 
 class TestRunnerWireUp:
@@ -225,7 +296,40 @@ class TestRunnerWireUp:
         tel = Telemetry()
         with pytest.raises(TrialTimeoutError):
             run_cell(SleepyCC(), "cc", case, Mode.BASELINE, spec, telemetry=tel)
-        assert tel.spans[-1].status == "timeout"
+        span = tel.spans[-1]
+        assert span.status == "timeout"
+        # SleepyCC sleeps in Python, so the signal interrupted it near its
+        # budget — no uninterrupted-overrun warning is warranted.
+        assert span.warnings == []
+
+    def test_uninterrupted_overrun_warns_on_cell_span(self, case):
+        """Serial mode documents the soft-deadline gap on the span.
+
+        An in-process deadline cannot interrupt a trial stuck in one long
+        C call; when such a trial finally ends far past its budget, the
+        cell span must carry a structured warning so trace readers know
+        the recorded timeout was not enforced at the budget.
+        """
+        spec = BenchmarkSpec(scale=8, trials={"cc": 1}, trial_timeout=0.05)
+        tel = Telemetry()
+        with pytest.raises(TrialTimeoutError):
+            run_cell(
+                BlockedAlarmCC(), "cc", case, Mode.BASELINE, spec, telemetry=tel
+            )
+        span = tel.spans[-1]
+        assert span.status == "timeout"
+        assert len(span.warnings) == 1
+        warning = span.warnings[0]
+        assert warning["warning"] == "deadline-overrun-uninterrupted"
+        assert warning["interrupted"] is False
+        assert warning["elapsed_seconds"] > warning["budget_seconds"]
+        # The warning rides along in the JSONL record and survives the
+        # worker-to-parent span round trip.
+        from repro.core.telemetry import Span
+
+        rebuilt = Span.from_dict(span.as_dict())
+        assert rebuilt.warnings == span.warnings
+        assert rebuilt.as_dict() == span.as_dict()
 
     def test_skipped_trials_recorded(self, case):
         """Trials never reached after a failure show up as skipped."""
