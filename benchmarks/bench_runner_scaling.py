@@ -16,7 +16,8 @@ Run under pytest (tier2; not part of the tier-1 suite)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_runner_scaling.py
 
-or directly for a JSON summary::
+or directly for a JSON summary (also written, in the shared archive
+schema, to ``BENCH_runner_scaling.json`` at the repo root)::
 
     PYTHONPATH=src python benchmarks/bench_runner_scaling.py
 """
@@ -25,6 +26,7 @@ import json
 import os
 import tempfile
 import time
+from pathlib import Path
 
 import pytest
 
@@ -32,6 +34,9 @@ from repro.core import BenchmarkSpec, run_suite
 from repro.core.runner import build_case
 from repro.frameworks import Mode, get
 from repro.graphs import GraphCache
+from repro.store import bench_payload, write_json_atomic
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "10"))
 GRAPHS = ["kron", "road"]
@@ -132,28 +137,26 @@ def main() -> None:
         for name in GRAPHS:
             build_case(name, SPEC, cache)
         walls = {jobs: _campaign_seconds(jobs, cache) for jobs in JOB_COUNTS}
-    print(
-        json.dumps(
-            {
-                "scale": BENCH_SCALE,
-                "cells": len(GRAPHS) * len(MODES) * len(KERNELS_USED),
-                "cpu_count": os.cpu_count(),
-                "campaign_wall_seconds": {
-                    f"jobs={jobs}": round(wall, 4) for jobs, wall in walls.items()
-                },
-                "speedup_vs_serial": {
-                    f"jobs={jobs}": round(walls[1] / wall, 3)
-                    for jobs, wall in walls.items()
-                },
-                "corpus_build_seconds": {
-                    "cold": round(cold, 4),
-                    "warm": round(warm, 4),
-                    "speedup": round(cold / warm, 1) if warm > 0 else None,
-                },
-            },
-            indent=2,
-        )
-    )
+    data = {
+        "scale": BENCH_SCALE,
+        "cells": len(GRAPHS) * len(MODES) * len(KERNELS_USED),
+        "cpu_count": os.cpu_count(),
+        "campaign_wall_seconds": {
+            f"jobs={jobs}": round(wall, 4) for jobs, wall in walls.items()
+        },
+        "speedup_vs_serial": {
+            f"jobs={jobs}": round(walls[1] / wall, 3)
+            for jobs, wall in walls.items()
+        },
+        "corpus_build_seconds": {
+            "cold": round(cold, 4),
+            "warm": round(warm, 4),
+            "speedup": round(cold / warm, 1) if warm > 0 else None,
+        },
+    }
+    payload = bench_payload("runner_scaling", data)
+    write_json_atomic(REPO_ROOT / "BENCH_runner_scaling.json", payload)
+    print(json.dumps(payload, indent=2))
 
 
 if __name__ == "__main__":

@@ -15,11 +15,17 @@ bounded separately, in absolute terms, so trace serialization cannot
 silently balloon either.
 
 Run with ``pytest benchmarks/bench_telemetry_overhead.py`` (tier2; not
-part of the tier-1 suite).
+part of the tier-1 suite), or directly for a JSON summary written — in
+the shared archive schema — to ``BENCH_telemetry_overhead.json`` at the
+repo root::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
 """
 
 import dataclasses
 import io
+import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -27,6 +33,9 @@ import pytest
 from repro.core import BenchmarkSpec, GraphCase, Telemetry, run_cell
 from repro.frameworks import Mode, RunContext
 from repro.gapbs import GAPReference
+from repro.store import bench_payload, write_json_atomic
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 TRIALS_PER_CELL = 256
 REPEATS = 11
@@ -113,3 +122,32 @@ def test_trace_records_do_not_grow_with_trials():
              telemetry=telemetry)
     lines = [line for line in stream.getvalue().splitlines() if line.strip()]
     assert len(lines) == 1
+
+
+def main() -> None:
+    """Measure once and write ``BENCH_telemetry_overhead.json``."""
+    case = GraphCase.build("kron", scale=8)
+    spec = BenchmarkSpec(scale=8, trials={"cc": TRIALS_PER_CELL}, verify=False)
+    traced_factory = lambda: Telemetry(sink=io.StringIO())
+    _measure(case, spec, lambda: None)  # warm-up, discarded
+    bare_trial, bare_wall = _measure(case, spec, lambda: None)
+    traced_trial, traced_wall = _measure(case, spec, traced_factory)
+    data = {
+        "trials_per_cell": TRIALS_PER_CELL,
+        "repeats": REPEATS,
+        "bare_trial_seconds": bare_trial,
+        "traced_trial_seconds": traced_trial,
+        "timed_region_overhead_fraction": (
+            (traced_trial - bare_trial) / bare_trial if bare_trial > 0 else None
+        ),
+        "overhead_bound_fraction": OVERHEAD_BOUND,
+        "per_cell_emission_seconds": traced_wall - bare_wall,
+        "emission_budget_seconds": EMISSION_BUDGET_SECONDS,
+    }
+    payload = bench_payload("telemetry_overhead", data)
+    write_json_atomic(REPO_ROOT / "BENCH_telemetry_overhead.json", payload)
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main()

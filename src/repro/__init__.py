@@ -11,7 +11,10 @@ The package implements, in pure Python/NumPy:
   `repro.nwgraph`), GraphIt (`repro.graphitc` + `repro.graphit`), and the
   Graph Kernel Collection (`repro.gkc`);
 * the benchmarking harness that regenerates the paper's Tables I–V
-  (`repro.core`).
+  (`repro.core`);
+* a results archive and statistical regression gate (`repro.store`) that
+  keeps every campaign (per-trial times, spec, telemetry, environment
+  fingerprint) and compares runs with bootstrap confidence intervals.
 
 Quickstart::
 

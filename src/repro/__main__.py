@@ -12,21 +12,42 @@ Subcommands::
     python -m repro compare --results results.json
     python -m repro generate road --scale N --out road.el [--weighted]
     python -m repro report --results results.json --out report.md
+    python -m repro archive --results results.json [--trace trace.jsonl]
+    python -m repro history [--limit N]
+    python -m repro diff --baseline REF [--candidate REF]
+    python -m repro gate --baseline REF --results results.json
+                         [--fail-on-regression] [--promote] [--out PATH]
 
 ``run`` executes the benchmark campaign with verification and prints
 Tables IV/V; ``compare`` scores the results against the paper's published
 Table V (direction agreement / rank correlation); ``generate`` writes a
 corpus graph to a GAP-style edge-list file; ``report`` renders a saved
-campaign as markdown.
+campaign as markdown.  The ``archive`` / ``history`` / ``diff`` / ``gate``
+family stores every campaign in an append-only archive and statistically
+compares runs — ``gate --fail-on-regression`` exits non-zero when a cell
+regresses beyond the noise threshold (see ``repro.store``).
+
+A REF is a run-id prefix from ``repro history``, the word ``latest``, or
+a path to a results JSON file.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .core import BenchmarkSpec, ResultSet, Telemetry, run_suite
-from .errors import BenchmarkConfigError
+from .core.telemetry import read_trace
+from .errors import ArchiveError, BenchmarkConfigError
+from .store import (
+    DEFAULT_NOISE_THRESHOLD,
+    RunArchive,
+    evaluate_gate,
+    promote_baseline,
+    version_string,
+    write_gate_report,
+)
 from .core.comparison import agreement_summary, compare_table5, framework_rank_correlation
 from .core.report import write_markdown_report
 from .core.tables import failure_rows, render, table1_rows, table4_rows, table5_rows
@@ -43,7 +64,31 @@ def _split(value: str, allowed: tuple[str, ...], label: str) -> list[str]:
     return names
 
 
+def _resolve_results(
+    ref: str, archive_dir: str | None
+) -> tuple[str, ResultSet, dict[str, object] | None]:
+    """Resolve a REF (file path, run-id prefix, or ``latest``).
+
+    Returns ``(display ref, results, environment fingerprint or None)``.
+    A file path wins over an archive lookup; files produced by
+    ``repro run`` carry their environment in the results meta.
+    """
+    path = Path(ref)
+    if path.is_file():
+        results = ResultSet.load_json(path)
+        env = results.meta.get("environment")
+        return str(path), results, env if isinstance(env, dict) else None
+    store = RunArchive(archive_dir)
+    try:
+        record = store.lookup(ref)
+    except ArchiveError as exc:
+        raise SystemExit(f"cannot resolve {ref!r}: {exc}")
+    env = record.manifest.get("environment")
+    return record.run_id, record.load_results(), env if isinstance(env, dict) else None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    print(f"repro {version_string()}")
     frameworks = [
         get(name)
         for name in _split(args.frameworks, EXTENDED_FRAMEWORK_NAMES, "framework")
@@ -103,6 +148,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.out:
         results.save_json(args.out)
         print(f"saved to {args.out}")
+    if args.archive:
+        store = RunArchive(args.archive_dir)
+        record = store.archive_run(
+            results,
+            spec=spec,
+            spans=telemetry.spans,
+            source=f"repro run scale={args.scale} graphs={args.graphs} "
+            f"kernels={args.kernels} frameworks={args.frameworks}",
+        )
+        print(f"archived as {record.run_id} under {store.root}")
     print(render(table4_rows(results, graphs), "Table IV"))
     print(render(table5_rows(results, graphs), "Table V"))
     if failures:
@@ -158,8 +213,156 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_archive(args: argparse.Namespace) -> int:
+    results = ResultSet.load_json(args.results)
+    spans = read_trace(args.trace) if args.trace else None
+    store = RunArchive(args.archive_dir)
+    record = store.archive_run(
+        results,
+        spec=results.meta.get("spec"),
+        spans=spans,
+        source=f"repro archive {args.results}",
+    )
+    print(f"archived {args.results} as {record.run_id} under {store.root}")
+    return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    store = RunArchive(args.archive_dir)
+    entries = store.list_runs()
+    if not entries:
+        print(f"no archived runs under {store.root}")
+        return 0
+    if args.limit is not None:
+        entries = entries[: args.limit]
+    print(f"{'run':<14} {'created (UTC)':<21} {'cells':>5} {'failed':>6}  source")
+    for entry in entries:
+        print(
+            f"{entry.get('run_id', '?'):<14} "
+            f"{str(entry.get('created_at', '')):<21} "
+            f"{entry.get('cells', 0):>5} {entry.get('failures', 0):>6}  "
+            f"{entry.get('source') or ''}"
+        )
+    return 0
+
+
+def _print_deltas(deltas, verbose: bool) -> None:
+    def fmt(value: float | None) -> str:
+        return f"{value:.3f}" if value is not None else "-"
+
+    print(
+        f"{'cell':<40} {'class':<10} {'ratio':>7} {'ci':>15} "
+        f"{'base':>9} {'cand':>9}"
+    )
+    for delta in deltas:
+        if not verbose and delta.classification == "unchanged":
+            continue
+        ci = (
+            f"[{delta.ci_low:.2f},{delta.ci_high:.2f}]"
+            if delta.ci_low is not None and delta.ci_high is not None
+            else "-"
+        )
+        print(
+            f"{delta.cell:<40} {delta.classification:<10} "
+            f"{fmt(delta.ratio):>7} {ci:>15} "
+            f"{fmt(delta.baseline_best):>9} {fmt(delta.candidate_best):>9}"
+        )
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    base_ref, baseline, base_env = _resolve_results(args.baseline, args.archive_dir)
+    cand_ref, candidate, cand_env = _resolve_results(args.candidate, args.archive_dir)
+    report = evaluate_gate(
+        baseline,
+        candidate,
+        threshold=args.threshold,
+        baseline_ref=base_ref,
+        candidate_ref=cand_ref,
+        baseline_environment=base_env,
+        candidate_environment=cand_env,
+    )
+    summary = report.summary()
+    print(f"baseline {base_ref} vs candidate {cand_ref} (threshold {args.threshold:.0%})")
+    print(
+        ", ".join(f"{name}: {count}" for name, count in sorted(summary.items()))
+    )
+    if report.environment_mismatches:
+        print(
+            "warning: environments differ on "
+            + ", ".join(report.environment_mismatches)
+            + " — ratios partly reflect the machine"
+        )
+    _print_deltas(report.deltas, verbose=True)
+    return 0
+
+
+def _cmd_gate(args: argparse.Namespace) -> int:
+    cand_source = args.results if args.results else args.candidate
+    cand_ref, candidate, cand_env = _resolve_results(cand_source, args.archive_dir)
+
+    baseline_path = Path(args.baseline)
+    if args.promote and not baseline_path.is_file():
+        if not (args.baseline.endswith(".json") or "/" in args.baseline):
+            raise SystemExit(
+                "--promote needs a baseline *file path* to write "
+                f"(got archive ref {args.baseline!r})"
+            )
+        # Bootstrapping: no baseline yet — promote the candidate into place.
+        promote_baseline(candidate, baseline_path)
+        print(f"no baseline at {baseline_path}; promoted {cand_ref} as the baseline")
+        return 0
+    base_ref, baseline, base_env = _resolve_results(args.baseline, args.archive_dir)
+
+    report = evaluate_gate(
+        baseline,
+        candidate,
+        threshold=args.threshold,
+        baseline_ref=base_ref,
+        candidate_ref=cand_ref,
+        baseline_environment=base_env,
+        candidate_environment=cand_env,
+    )
+    summary = report.summary()
+    print(
+        f"gate: {cand_ref} vs baseline {base_ref} "
+        f"(noise threshold {args.threshold:.0%})"
+    )
+    print(
+        ", ".join(f"{name}: {count}" for name, count in sorted(summary.items()))
+    )
+    if report.environment_mismatches:
+        print(
+            "warning: environments differ on "
+            + ", ".join(report.environment_mismatches)
+            + " — consider --promote to rebaseline on this machine"
+        )
+    if not report.passed:
+        print("regressions:")
+        for delta in report.regressions:
+            ratio = f"{delta.ratio:.2f}x" if delta.ratio is not None else delta.detail
+            print(f"  {delta.cell}: {delta.classification} ({ratio})")
+    _print_deltas(report.deltas, verbose=args.verbose)
+    if args.out:
+        write_gate_report(report, args.out)
+        print(f"gate report written to {args.out}")
+    if args.promote:
+        promote_baseline(candidate, baseline_path)
+        print(f"promoted {cand_ref} to baseline {baseline_path}")
+    if report.passed:
+        print("gate: PASS")
+        return 0
+    print(f"gate: FAIL ({len(report.regressions)} regressed cell(s))")
+    return 1 if args.fail_on_regression else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {version_string()}",
+        help="print package version and git SHA, then exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run the benchmark campaign")
@@ -216,6 +419,18 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="always regenerate graphs; neither read nor write the cache",
     )
+    run_parser.add_argument(
+        "--archive",
+        action="store_true",
+        help="archive this campaign (results, spec, telemetry spans, and an "
+        "environment fingerprint) in the append-only run archive",
+    )
+    run_parser.add_argument(
+        "--archive-dir",
+        default=None,
+        metavar="DIR",
+        help="archive root (default: $REPRO_ARCHIVE_DIR or results/archive)",
+    )
     run_parser.set_defaults(fn=_cmd_run)
 
     tables_parser = sub.add_parser("tables", help="render tables from saved results")
@@ -242,6 +457,89 @@ def main(argv: list[str] | None = None) -> int:
     report_parser.add_argument("--results", required=True)
     report_parser.add_argument("--out", required=True)
     report_parser.set_defaults(fn=_cmd_report)
+
+    archive_parser = sub.add_parser(
+        "archive", help="store a saved results file in the run archive"
+    )
+    archive_parser.add_argument("--results", required=True)
+    archive_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="JSONL telemetry trace to persist alongside the results",
+    )
+    archive_parser.add_argument("--archive-dir", default=None, metavar="DIR")
+    archive_parser.set_defaults(fn=_cmd_archive)
+
+    history_parser = sub.add_parser("history", help="list archived runs")
+    history_parser.add_argument("--archive-dir", default=None, metavar="DIR")
+    history_parser.add_argument("--limit", type=int, default=None, metavar="N")
+    history_parser.set_defaults(fn=_cmd_history)
+
+    diff_parser = sub.add_parser(
+        "diff", help="statistically compare two runs, cell by cell"
+    )
+    diff_parser.add_argument(
+        "--baseline", required=True, metavar="REF",
+        help="run-id prefix, 'latest', or a results-file path",
+    )
+    diff_parser.add_argument(
+        "--candidate", default="latest", metavar="REF",
+        help="run to compare against the baseline (default: latest)",
+    )
+    diff_parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_NOISE_THRESHOLD,
+        metavar="FRACTION",
+        help="relative noise band within which a cell is 'unchanged' "
+        f"(default {DEFAULT_NOISE_THRESHOLD})",
+    )
+    diff_parser.add_argument("--archive-dir", default=None, metavar="DIR")
+    diff_parser.set_defaults(fn=_cmd_diff)
+
+    gate_parser = sub.add_parser(
+        "gate", help="fail when the candidate run regresses past the baseline"
+    )
+    gate_parser.add_argument(
+        "--baseline", required=True, metavar="REF",
+        help="baseline run: run-id prefix, 'latest', or a results-file path "
+        "(a file path is required for --promote)",
+    )
+    gate_parser.add_argument(
+        "--results", default=None, metavar="PATH",
+        help="candidate results file (default: the latest archived run)",
+    )
+    gate_parser.add_argument(
+        "--candidate", default="latest", metavar="REF",
+        help="candidate run ref when --results is not given",
+    )
+    gate_parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_NOISE_THRESHOLD,
+        metavar="FRACTION",
+        help="relative regression threshold: a cell gates only when its "
+        "best-of-k ratio and its whole bootstrap CI exceed 1+FRACTION "
+        f"(default {DEFAULT_NOISE_THRESHOLD})",
+    )
+    gate_parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit non-zero when any cell regresses (default: report only)",
+    )
+    gate_parser.add_argument(
+        "--promote",
+        action="store_true",
+        help="install the candidate as the new baseline file (atomic); "
+        "with a missing baseline this bootstraps it",
+    )
+    gate_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the gate report as JSON (e.g. BENCH_gate.json)",
+    )
+    gate_parser.add_argument(
+        "--verbose", action="store_true",
+        help="print unchanged cells too, not just movers",
+    )
+    gate_parser.add_argument("--archive-dir", default=None, metavar="DIR")
+    gate_parser.set_defaults(fn=_cmd_gate)
 
     args = parser.parse_args(argv)
     return args.fn(args)

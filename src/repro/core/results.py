@@ -15,13 +15,20 @@ table renderers skip non-ok cells; the failure table reports them.
 from __future__ import annotations
 
 import json
+import os
 import statistics
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..frameworks.base import Mode
 
-__all__ = ["RunResult", "ResultSet"]
+__all__ = ["RESULTS_SCHEMA_VERSION", "RunResult", "ResultSet"]
+
+#: Version stamp of the results-file payload.  v1 was a bare list of cell
+#: records; v2 wraps it in an envelope with ``schema_version`` and campaign
+#: ``meta``.  ``load_json`` reads both.
+RESULTS_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -125,8 +132,16 @@ class RunResult:
 class ResultSet:
     """A queryable collection of run results."""
 
-    def __init__(self, results: list[RunResult] | None = None) -> None:
+    def __init__(
+        self,
+        results: list[RunResult] | None = None,
+        meta: dict[str, object] | None = None,
+    ) -> None:
         self.results: list[RunResult] = list(results or [])
+        #: Campaign-level provenance (spec, graph/kernel/framework lists);
+        #: filled by ``run_suite`` and preserved through save/load so an
+        #: archived results file is self-describing.
+        self.meta: dict[str, object] = dict(meta or {})
 
     def add(self, result: RunResult) -> None:
         """Append one result."""
@@ -176,16 +191,49 @@ class ResultSet:
             seen.setdefault(result.framework, None)
         return list(seen)
 
+    def payload(self) -> dict[str, object]:
+        """The versioned on-disk form: envelope + per-cell records.
+
+        Per-trial times travel whole (``trial_seconds`` in each record) —
+        the archive and the regression gate depend on them, aggregates
+        alone cannot support a statistical comparison.
+        """
+        out: dict[str, object] = {
+            "schema_version": RESULTS_SCHEMA_VERSION,
+            "results": [r.as_dict() for r in self.results],
+        }
+        if self.meta:
+            out["meta"] = self.meta
+        return out
+
     def save_json(self, path: str | Path) -> None:
-        """Serialize all results to a JSON file."""
-        Path(path).write_text(
-            json.dumps([r.as_dict() for r in self.results], indent=2),
-            encoding="ascii",
-        )
+        """Serialize all results to a JSON file.
+
+        Atomic (temp file + ``os.replace``, the same discipline as
+        :mod:`repro.graphs.cache`): a campaign killed mid-save leaves the
+        previous file intact, never a torn one.
+        """
+        path = Path(path)
+        parent = path.parent if str(path.parent) else Path(".")
+        parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=parent, suffix=".json.tmp")
+        tmp = Path(tmp_name)
+        try:
+            with os.fdopen(fd, "w", encoding="ascii") as stream:
+                json.dump(self.payload(), stream, indent=2)
+                stream.write("\n")
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     @classmethod
     def load_json(cls, path: str | Path) -> "ResultSet":
         raw = json.loads(Path(path).read_text(encoding="ascii"))
+        if isinstance(raw, dict):
+            items = raw.get("results", [])
+            meta = dict(raw.get("meta", {}))
+        else:  # v1 legacy payload: a bare list of cell records
+            items, meta = raw, {}
         results = [
             RunResult(
                 framework=item["framework"],
@@ -201,9 +249,9 @@ class ResultSet:
                 status=str(item.get("status", "ok")),
                 error=str(item.get("error", "")),
             )
-            for item in raw
+            for item in items
         ]
-        return cls(results)
+        return cls(results, meta=meta)
 
     def __len__(self) -> int:
         return len(self.results)

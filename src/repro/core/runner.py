@@ -357,10 +357,26 @@ def run_suite(
     """
     spec = spec or BenchmarkSpec()
     effective_jobs = spec.jobs if jobs is None else int(jobs)
+    frameworks = list(frameworks)
+    graph_names = list(graph_names)
+    kernels = list(kernels)
+    modes = list(modes)
+    # Lazy: repro.store sits above repro.core in the layering.
+    from ..store.environment import fingerprint
+
+    campaign_meta: dict[str, object] = {
+        "spec": spec.as_dict(),
+        "environment": fingerprint(),
+        "graphs": graph_names,
+        "kernels": kernels,
+        "modes": [mode.value for mode in modes],
+        "frameworks": [framework.name for framework in frameworks],
+        "jobs": effective_jobs,
+    }
     if effective_jobs > 1:
         from .executor import run_suite_parallel
 
-        return run_suite_parallel(
+        results = run_suite_parallel(
             frameworks,
             graph_names,
             kernels=kernels,
@@ -372,11 +388,10 @@ def run_suite(
             strict=strict,
             cache=cache,
         )
+        results.meta.update(campaign_meta)
+        return results
     tel = telemetry if telemetry is not None else Telemetry()
-    frameworks = list(frameworks)
-    kernels = list(kernels)
-    modes = list(modes)
-    results = ResultSet()
+    results = ResultSet(meta=campaign_meta)
     from ..errors import TrialTimeoutError
 
     for graph_name in graph_names:

@@ -84,6 +84,21 @@ class BenchmarkSpec:
         if self.jobs < 1:
             raise BenchmarkConfigError("jobs must be >= 1")
 
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serializable form, used in archive manifests and results
+        meta so every stored run carries the spec that produced it."""
+        return {
+            "scale": self.scale,
+            "seed": self.seed,
+            "trials": dict(self.trials),
+            "deltas": dict(self.deltas),
+            "pr_tolerance": self.pr_tolerance,
+            "bc_roots": self.bc_roots,
+            "verify": self.verify,
+            "trial_timeout": self.trial_timeout,
+            "jobs": self.jobs,
+        }
+
     def num_trials(self, kernel: str) -> int:
         """Trial count for a kernel (default 3)."""
         return self.trials.get(kernel, 3)

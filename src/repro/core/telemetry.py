@@ -278,6 +278,16 @@ class Telemetry:
         if self.sink is not None:
             self.sink.write(span.as_dict())
 
+    def records(self) -> list[dict[str, object]]:
+        """All completed top-level spans in their JSONL-record form.
+
+        This is what the results archive persists as a run's
+        ``spans.jsonl`` (see :mod:`repro.store.archive`): the same records
+        a sink would have streamed, available after the fact whether or
+        not a sink was attached.
+        """
+        return [span.as_dict() for span in self.spans]
+
     def summary(self) -> dict[str, object]:
         """Aggregate view of all completed top-level spans.
 

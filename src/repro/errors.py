@@ -56,6 +56,11 @@ class CellFailedError(ReproError):
     """
 
 
+class ArchiveError(ReproError):
+    """A results-archive operation failed (unknown run, ambiguous ref,
+    or a corrupt/unreadable archive layout)."""
+
+
 class UnknownFrameworkError(ReproError):
     """A framework name was requested that is not in the registry."""
 

@@ -1,0 +1,109 @@
+"""The regression gate: turn a statistical diff into a pass/fail verdict.
+
+A gate evaluation compares a candidate run against a baseline
+(:func:`evaluate_gate`), producing a :class:`GateReport` that names every
+regressed cell; ``repro gate --fail-on-regression`` exits non-zero on a
+failed report, which is what makes "every PR makes a hot path measurably
+faster" enforceable rather than aspirational.  The report serializes to
+``BENCH_gate.json`` in the shared bench envelope so the repo's perf
+trajectory is one more archive consumer.
+
+Baseline promotion (:func:`promote_baseline`) atomically replaces a
+committed baseline file with the candidate's payload — the operator's
+explicit act of saying "this is the new normal".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.results import ResultSet
+from .archive import bench_payload, write_json_atomic
+from .environment import fingerprint_mismatches
+from .stats import (
+    DEFAULT_NOISE_THRESHOLD,
+    CellDelta,
+    classify_cells,
+    summarize_deltas,
+)
+
+__all__ = ["GateReport", "evaluate_gate", "promote_baseline", "write_gate_report"]
+
+
+@dataclass(frozen=True)
+class GateReport:
+    """Outcome of gating one candidate run against one baseline."""
+
+    baseline_ref: str
+    candidate_ref: str
+    threshold: float
+    deltas: list[CellDelta]
+    environment_mismatches: list[str]
+
+    @property
+    def regressions(self) -> list[CellDelta]:
+        """Every cell that should fail the gate (regressed or broke)."""
+        return [delta for delta in self.deltas if delta.gates]
+
+    @property
+    def passed(self) -> bool:
+        """True when no cell regressed or broke."""
+        return not self.regressions
+
+    def summary(self) -> dict[str, int]:
+        """Cell count per classification."""
+        return summarize_deltas(self.deltas)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serializable form (the ``data`` of ``BENCH_gate.json``)."""
+        return {
+            "baseline": self.baseline_ref,
+            "candidate": self.candidate_ref,
+            "threshold": self.threshold,
+            "passed": self.passed,
+            "summary": self.summary(),
+            "environment_mismatches": self.environment_mismatches,
+            "regressions": [delta.cell for delta in self.regressions],
+            "cells": [delta.as_dict() for delta in self.deltas],
+        }
+
+
+def evaluate_gate(
+    baseline: ResultSet,
+    candidate: ResultSet,
+    threshold: float = DEFAULT_NOISE_THRESHOLD,
+    baseline_ref: str = "baseline",
+    candidate_ref: str = "candidate",
+    baseline_environment: dict[str, object] | None = None,
+    candidate_environment: dict[str, object] | None = None,
+    seed: int = 0,
+) -> GateReport:
+    """Classify every cell and assemble the gate verdict.
+
+    The optional environment fingerprints (from run manifests) are only
+    compared, never enforced: a mismatch is reported so the reader knows
+    the ratio partly measures the hardware, not just the code.
+    """
+    deltas = classify_cells(baseline, candidate, threshold=threshold, seed=seed)
+    return GateReport(
+        baseline_ref=baseline_ref,
+        candidate_ref=candidate_ref,
+        threshold=threshold,
+        deltas=deltas,
+        environment_mismatches=fingerprint_mismatches(
+            baseline_environment, candidate_environment
+        ),
+    )
+
+
+def write_gate_report(report: GateReport, path: str | Path) -> None:
+    """Persist a gate report as ``BENCH_gate.json`` (atomic write)."""
+    write_json_atomic(path, bench_payload("gate", report.as_dict()))
+
+
+def promote_baseline(candidate: ResultSet, path: str | Path) -> Path:
+    """Atomically install the candidate's payload as the new baseline."""
+    path = Path(path)
+    candidate.save_json(path)
+    return path

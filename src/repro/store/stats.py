@@ -1,0 +1,255 @@
+"""Statistical comparison of two benchmark runs, cell by cell.
+
+Comparing two campaigns by eyeballing averaged tables is how phantom
+regressions (and phantom wins) get shipped.  This engine operates on the
+**per-trial** times the archive preserves:
+
+* the point statistic is GAP-style best-of-k — ``min`` over a cell's
+  trials, the suite's standard defense against warm-up and interference
+  outliers;
+* uncertainty comes from a bootstrap confidence interval on the
+  candidate/baseline ratio of that statistic (percentile method, fixed
+  RNG seed, so a comparison is reproducible);
+* a cell is only classified ``regressed`` (or ``improved``) when *both*
+  the point ratio and the whole confidence interval clear a configurable
+  noise threshold — overlapping trial distributions stay ``unchanged``.
+
+Cells that failed in exactly one run are classified ``broke`` / ``fixed``
+(a kernel that stopped finishing is the worst regression of all); cells
+present in only one run are ``added`` / ``removed`` and never gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.results import ResultSet, RunResult
+
+__all__ = [
+    "DEFAULT_NOISE_THRESHOLD",
+    "CellDelta",
+    "bootstrap_ratio_ci",
+    "classify_cells",
+    "summarize_deltas",
+]
+
+#: Relative noise band: a ratio within ``1 +/- threshold`` never gates.
+#: 0.25 tolerates the run-to-run jitter of small pure-Python kernels while
+#: still catching anything approaching a 2x slowdown decisively.
+DEFAULT_NOISE_THRESHOLD = 0.25
+
+_BOOTSTRAP_RESAMPLES = 2000
+_CONFIDENCE = 0.95
+
+#: Classifications that should fail a regression gate.
+GATING_CLASSIFICATIONS = ("regressed", "broke")
+
+
+@dataclass(frozen=True)
+class CellDelta:
+    """One (framework, kernel, graph, mode) cell, baseline vs candidate."""
+
+    framework: str
+    kernel: str
+    graph: str
+    mode: str
+    classification: str
+    baseline_best: float | None = None
+    candidate_best: float | None = None
+    ratio: float | None = None
+    ci_low: float | None = None
+    ci_high: float | None = None
+    baseline_trials: int = 0
+    candidate_trials: int = 0
+    detail: str = ""
+
+    @property
+    def cell(self) -> str:
+        """Human-readable cell name used in gate output and reports."""
+        return f"{self.framework}/{self.kernel}/{self.graph}/{self.mode}"
+
+    @property
+    def gates(self) -> bool:
+        """True when this delta should fail a regression gate."""
+        return self.classification in GATING_CLASSIFICATIONS
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serializable form (one row of a gate report)."""
+        return {
+            "framework": self.framework,
+            "kernel": self.kernel,
+            "graph": self.graph,
+            "mode": self.mode,
+            "classification": self.classification,
+            "baseline_best": self.baseline_best,
+            "candidate_best": self.candidate_best,
+            "ratio": self.ratio,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "baseline_trials": self.baseline_trials,
+            "candidate_trials": self.candidate_trials,
+            "detail": self.detail,
+        }
+
+
+def bootstrap_ratio_ci(
+    baseline_trials: list[float],
+    candidate_trials: list[float],
+    resamples: int = _BOOTSTRAP_RESAMPLES,
+    confidence: float = _CONFIDENCE,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI on ``min(candidate) / min(baseline)``.
+
+    Resamples each side's trials with replacement; deterministic for a
+    given seed.  Degenerates gracefully: with one trial per side the
+    interval collapses to the point ratio.
+    """
+    base = np.asarray(baseline_trials, dtype=float)
+    cand = np.asarray(candidate_trials, dtype=float)
+    if base.size == 0 or cand.size == 0:
+        return (float("nan"), float("nan"))
+    rng = np.random.default_rng(np.random.SeedSequence([0x57A7, seed]))
+    base_mins = np.min(
+        rng.choice(base, size=(resamples, base.size), replace=True), axis=1
+    )
+    cand_mins = np.min(
+        rng.choice(cand, size=(resamples, cand.size), replace=True), axis=1
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = cand_mins / base_mins
+    ratios = ratios[np.isfinite(ratios)]
+    if ratios.size == 0:
+        return (float("nan"), float("nan"))
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(ratios, alpha)),
+        float(np.quantile(ratios, 1.0 - alpha)),
+    )
+
+
+def _classify_pair(
+    base: RunResult,
+    cand: RunResult,
+    threshold: float,
+    seed: int,
+) -> CellDelta:
+    identity = {
+        "framework": base.framework,
+        "kernel": base.kernel,
+        "graph": base.graph,
+        "mode": base.mode.value,
+    }
+    if base.ok and not cand.ok:
+        return CellDelta(
+            classification="broke",
+            baseline_best=base.best_seconds,
+            baseline_trials=len(base.trial_seconds),
+            candidate_trials=len(cand.trial_seconds),
+            detail=f"candidate status {cand.status}: {cand.error}",
+            **identity,
+        )
+    if not base.ok and cand.ok:
+        return CellDelta(
+            classification="fixed",
+            candidate_best=cand.best_seconds,
+            baseline_trials=len(base.trial_seconds),
+            candidate_trials=len(cand.trial_seconds),
+            detail=f"baseline status {base.status}",
+            **identity,
+        )
+    if not base.ok and not cand.ok:
+        return CellDelta(
+            classification="unchanged",
+            detail=f"failing in both runs ({base.status}/{cand.status})",
+            **identity,
+        )
+
+    baseline_best = base.best_seconds
+    candidate_best = cand.best_seconds
+    ratio = (
+        candidate_best / baseline_best if baseline_best > 0 else float("nan")
+    )
+    ci_low, ci_high = bootstrap_ratio_ci(
+        base.trial_seconds, cand.trial_seconds, seed=seed
+    )
+    # Both the point ratio and the full interval must clear the band:
+    # a wide CI (noisy trials) keeps the cell unchanged by construction.
+    if np.isfinite(ratio) and ratio > 1.0 + threshold and ci_low > 1.0 + threshold:
+        classification = "regressed"
+    elif (
+        np.isfinite(ratio) and ratio < 1.0 - threshold and ci_high < 1.0 - threshold
+    ):
+        classification = "improved"
+    else:
+        classification = "unchanged"
+    return CellDelta(
+        classification=classification,
+        baseline_best=baseline_best,
+        candidate_best=candidate_best,
+        ratio=ratio if np.isfinite(ratio) else None,
+        ci_low=ci_low if np.isfinite(ci_low) else None,
+        ci_high=ci_high if np.isfinite(ci_high) else None,
+        baseline_trials=len(base.trial_seconds),
+        candidate_trials=len(cand.trial_seconds),
+        **identity,
+    )
+
+
+def classify_cells(
+    baseline: ResultSet,
+    candidate: ResultSet,
+    threshold: float = DEFAULT_NOISE_THRESHOLD,
+    seed: int = 0,
+) -> list[CellDelta]:
+    """Classify every cell across two runs, in the candidate's cell order.
+
+    Cells only in the candidate come back ``added``; cells only in the
+    baseline come last as ``removed``.
+    """
+    if threshold < 0:
+        raise ValueError("noise threshold must be non-negative")
+    base_by_key = {result.cell_key: result for result in baseline}
+    deltas: list[CellDelta] = []
+    seen: set[tuple[str, str, str, str]] = set()
+    for cand in candidate:
+        seen.add(cand.cell_key)
+        base = base_by_key.get(cand.cell_key)
+        if base is None:
+            deltas.append(
+                CellDelta(
+                    framework=cand.framework,
+                    kernel=cand.kernel,
+                    graph=cand.graph,
+                    mode=cand.mode.value,
+                    classification="added",
+                    candidate_best=cand.best_seconds if cand.ok else None,
+                    candidate_trials=len(cand.trial_seconds),
+                )
+            )
+            continue
+        deltas.append(_classify_pair(base, cand, threshold, seed))
+    for base in baseline:
+        if base.cell_key not in seen:
+            deltas.append(
+                CellDelta(
+                    framework=base.framework,
+                    kernel=base.kernel,
+                    graph=base.graph,
+                    mode=base.mode.value,
+                    classification="removed",
+                    baseline_best=base.best_seconds if base.ok else None,
+                    baseline_trials=len(base.trial_seconds),
+                )
+            )
+    return deltas
+
+
+def summarize_deltas(deltas: list[CellDelta]) -> dict[str, int]:
+    """Count of cells per classification (zero-filled for the core four)."""
+    summary = {"improved": 0, "regressed": 0, "unchanged": 0, "broke": 0}
+    for delta in deltas:
+        summary[delta.classification] = summary.get(delta.classification, 0) + 1
+    return summary

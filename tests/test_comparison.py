@@ -178,6 +178,55 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "direction agreement" in out
 
+    def test_compare_end_to_end_agreement_summary(self, tmp_path, capsys):
+        """The compare subcommand against a full saved campaign: every
+        line of the agreement summary must be present and consistent."""
+        from repro.__main__ import main
+
+        cells = []
+        for index, kernel in enumerate(KERNELS):
+            for graph in PAPER_GRAPH_ORDER:
+                cells.append(
+                    _result("gap", kernel=kernel, graph=graph, seconds=1.0)
+                )
+                cells.append(
+                    _result(
+                        "galois",
+                        kernel=kernel,
+                        graph=graph,
+                        seconds=0.5 + 0.05 * index,
+                    )
+                )
+        path = tmp_path / "campaign.json"
+        ResultSet(cells).save_json(path)
+
+        assert main(["compare", "--results", str(path)]) == 0
+        out = capsys.readouterr().out
+        # 6 kernels x 5 graphs x 1 mode for the one non-reference framework.
+        assert f"cells: {len(KERNELS) * len(PAPER_GRAPH_ORDER)}" in out
+        assert "direction agreement: " in out and "%" in out
+        for kernel in KERNELS:
+            assert f"'{kernel}'" in out  # per-kernel agreement entries
+        assert "per framework:" in out and "'galois'" in out
+        assert "rank correlation:" in out
+
+    def test_compare_reads_schema_v2_payload(self, tmp_path, capsys):
+        """compare must accept the enveloped (schema_version 2) file the
+        runner now writes, not just the legacy bare list."""
+        import json
+
+        from repro.__main__ import main
+
+        results = ResultSet(
+            [_result("gap"), _result("galois", seconds=0.4)],
+            meta={"spec": {"scale": 9}},
+        )
+        path = tmp_path / "r.json"
+        results.save_json(path)
+        assert json.loads(path.read_text())["schema_version"] >= 2
+        assert main(["compare", "--results", str(path)]) == 0
+        assert "direction agreement" in capsys.readouterr().out
+
 
 class TestCLIExtras:
     def test_generate_subcommand(self, tmp_path, capsys):

@@ -1,0 +1,218 @@
+"""Tests for the run archive, environment fingerprint, and results schema."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.results import RESULTS_SCHEMA_VERSION, ResultSet, RunResult
+from repro.core.telemetry import Span
+from repro.errors import ArchiveError
+from repro.frameworks import Mode
+from repro.store import RunArchive, fingerprint, version_string
+from repro.store.environment import fingerprint_mismatches
+
+
+def _result(kernel="bfs", trials=(1.0, 1.1), status="ok"):
+    return RunResult(
+        framework="gap",
+        kernel=kernel,
+        graph="kron",
+        mode=Mode.BASELINE,
+        trial_seconds=list(trials),
+        status=status,
+    )
+
+
+def _results(*cells, meta=None):
+    return ResultSet(list(cells), meta=meta)
+
+
+class TestResultsSchema:
+    def test_save_json_stamps_schema_version(self, tmp_path):
+        path = tmp_path / "r.json"
+        _results(_result()).save_json(path)
+        raw = json.loads(path.read_text())
+        assert raw["schema_version"] == RESULTS_SCHEMA_VERSION
+        assert raw["results"][0]["trial_seconds"] == [1.0, 1.1]
+
+    def test_meta_round_trips(self, tmp_path):
+        path = tmp_path / "r.json"
+        _results(_result(), meta={"spec": {"scale": 9}}).save_json(path)
+        loaded = ResultSet.load_json(path)
+        assert loaded.meta["spec"]["scale"] == 9
+
+    def test_legacy_bare_list_payload_still_loads(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps([_result().as_dict()]), encoding="ascii")
+        loaded = ResultSet.load_json(path)
+        assert len(loaded) == 1
+        assert loaded.meta == {}
+        assert loaded.results[0].trial_seconds == [1.0, 1.1]
+
+    def test_save_is_atomic_no_tmp_residue(self, tmp_path):
+        path = tmp_path / "r.json"
+        _results(_result()).save_json(path)
+        _results(_result(), _result(kernel="cc")).save_json(path)
+        assert len(ResultSet.load_json(path)) == 2
+        residue = [p for p in tmp_path.iterdir() if p.name != "r.json"]
+        assert residue == []
+
+    def test_committed_legacy_results_file_loads(self):
+        # The pre-gate campaign artifact in results/ is a v1 payload.
+        legacy = Path(__file__).resolve().parents[1] / "results" / "full_scale13.json"
+        assert len(ResultSet.load_json(legacy)) > 0
+
+
+class TestEnvironment:
+    def test_fingerprint_keys(self):
+        env = fingerprint()
+        for key in ("python", "numpy", "machine", "cpu_count", "repro_version"):
+            assert env[key] is not None
+
+    def test_version_string_contains_package_version(self):
+        from repro import __version__
+
+        assert version_string().startswith(__version__)
+
+    def test_git_sha_env_override(self, monkeypatch):
+        from repro.store.environment import git_sha
+
+        monkeypatch.setenv("REPRO_GIT_SHA", "deadbeefcafe0123")
+        assert git_sha() == "deadbeefcafe"
+
+    def test_mismatch_detection(self):
+        a = fingerprint()
+        b = dict(a, numpy="0.0.1")
+        assert fingerprint_mismatches(a, b) == ["numpy"]
+        assert fingerprint_mismatches(a, dict(a)) == []
+        assert fingerprint_mismatches(None, a) == []
+
+
+class TestRunArchive:
+    def test_archive_run_layout(self, tmp_path):
+        store = RunArchive(tmp_path / "arch")
+        span = Span(name="cell", attributes={"kernel": "bfs"})
+        record = store.archive_run(
+            _results(_result()),
+            spec={"scale": 9},
+            spans=[span],
+            source="test",
+        )
+        assert (record.path / "results.json").exists()
+        assert (record.path / "manifest.json").exists()
+        assert (record.path / "spans.jsonl").exists()
+        manifest = record.manifest
+        assert manifest["run_id"] == record.run_id
+        assert manifest["spec"] == {"scale": 9}
+        assert manifest["cells"] == 1
+        assert manifest["environment"]["python"]
+        assert manifest["version"] == version_string()
+
+    def test_per_trial_times_survive_archival(self, tmp_path):
+        store = RunArchive(tmp_path)
+        trials = [0.5, 0.25, 0.75]
+        record = store.archive_run(_results(_result(trials=trials)))
+        loaded = record.load_results()
+        assert loaded.results[0].trial_seconds == trials
+
+    def test_content_addressed_and_idempotent(self, tmp_path):
+        store = RunArchive(tmp_path)
+        results = _results(_result())
+        first = store.archive_run(results, spec={"scale": 9})
+        again = store.archive_run(results, spec={"scale": 9})
+        assert first.run_id == again.run_id
+        assert len(store.list_runs()) == 1
+
+    def test_different_content_gets_different_ids(self, tmp_path):
+        store = RunArchive(tmp_path)
+        a = store.archive_run(_results(_result(trials=(1.0,))))
+        b = store.archive_run(_results(_result(trials=(2.0,))))
+        assert a.run_id != b.run_id
+        assert len(store.list_runs()) == 2
+
+    def test_history_lists_two_runs_of_the_same_spec(self, tmp_path):
+        store = RunArchive(tmp_path)
+        store.archive_run(_results(_result(trials=(1.0,))), spec={"scale": 9})
+        store.archive_run(_results(_result(trials=(1.01,))), spec={"scale": 9})
+        entries = store.list_runs()
+        assert len(entries) == 2
+        assert all(entry["cells"] == 1 for entry in entries)
+
+    def test_lookup_latest_and_prefix(self, tmp_path):
+        store = RunArchive(tmp_path)
+        a = store.archive_run(_results(_result(trials=(1.0,))))
+        b = store.archive_run(_results(_result(trials=(2.0,))))
+        assert store.lookup("latest").run_id == b.run_id
+        assert store.lookup(a.run_id[:6]).run_id == a.run_id
+
+    def test_lookup_errors(self, tmp_path):
+        store = RunArchive(tmp_path)
+        with pytest.raises(ArchiveError):
+            store.lookup("latest")  # empty archive
+        store.archive_run(_results(_result(trials=(1.0,))))
+        with pytest.raises(ArchiveError):
+            store.lookup("zzzzzz")
+
+    def test_ambiguous_prefix_rejected(self, tmp_path):
+        store = RunArchive(tmp_path)
+        ids = set()
+        for n in range(8):
+            rec = store.archive_run(_results(_result(trials=(float(n + 1),))))
+            ids.add(rec.run_id)
+        common = ""  # find a prefix shared by >= 2 ids, if any
+        for length in range(1, 12):
+            prefixes = {}
+            for run_id in ids:
+                prefixes.setdefault(run_id[:length], []).append(run_id)
+            shared = [p for p, rs in prefixes.items() if len(rs) > 1]
+            if shared:
+                common = shared[0]
+                break
+        if not common:
+            pytest.skip("no shared prefix among sampled run ids")
+        with pytest.raises(ArchiveError):
+            store.lookup(common)
+
+    def test_index_rebuilt_from_manifests_when_lost(self, tmp_path):
+        store = RunArchive(tmp_path)
+        record = store.archive_run(_results(_result()))
+        store.index_path.unlink()
+        entries = store.list_runs()
+        assert [entry["run_id"] for entry in entries] == [record.run_id]
+        assert store.lookup("latest").run_id == record.run_id
+
+    def test_spans_persisted_and_reloadable(self, tmp_path):
+        store = RunArchive(tmp_path)
+        spans = [
+            Span(name="cell", attributes={"kernel": "bfs"}, wall_seconds=0.5),
+            Span(name="cell", attributes={"kernel": "cc"}, wall_seconds=0.25),
+        ]
+        record = store.archive_run(_results(_result()), spans=spans)
+        loaded = record.load_spans()
+        assert [rec["kernel"] for rec in loaded] == ["bfs", "cc"]
+        # The persisted records are Span.from_dict-compatible.
+        rebuilt = Span.from_dict(loaded[0])
+        assert rebuilt.name == "cell"
+        assert rebuilt.wall_seconds == 0.5
+
+    def test_telemetry_records_match_sink_output(self):
+        from repro.core.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        with telemetry.span("cell", kernel="bfs"):
+            pass
+        records = telemetry.records()
+        assert len(records) == 1
+        assert records[0]["span"] == "cell"
+        assert records[0]["kernel"] == "bfs"
+
+    def test_failure_counts_in_manifest(self, tmp_path):
+        store = RunArchive(tmp_path)
+        record = store.archive_run(
+            _results(_result(), _result(kernel="cc", trials=(), status="error"))
+        )
+        assert record.manifest["cells"] == 2
+        assert record.manifest["failures"] == 1

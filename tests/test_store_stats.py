@@ -1,0 +1,199 @@
+"""Unit tests for the statistical comparison engine (repro.store.stats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import ResultSet, RunResult
+from repro.frameworks import Mode
+from repro.store import (
+    DEFAULT_NOISE_THRESHOLD,
+    bootstrap_ratio_ci,
+    classify_cells,
+    summarize_deltas,
+)
+
+
+def _result(
+    trials,
+    framework="gap",
+    kernel="bfs",
+    graph="kron",
+    mode=Mode.BASELINE,
+    status="ok",
+):
+    return RunResult(
+        framework=framework,
+        kernel=kernel,
+        graph=graph,
+        mode=mode,
+        trial_seconds=list(trials),
+        status=status,
+        verified=status == "ok",
+        error="boom" if status != "ok" else "",
+    )
+
+
+class TestBootstrapRatioCI:
+    def test_deterministic_for_a_seed(self):
+        base = [1.0, 1.1, 0.9, 1.05]
+        cand = [2.0, 2.2, 1.9, 2.1]
+        assert bootstrap_ratio_ci(base, cand) == bootstrap_ratio_ci(base, cand)
+
+    def test_ci_brackets_the_point_ratio(self):
+        base = [1.0, 1.1, 0.9, 1.05]
+        cand = [1.5, 1.6, 1.45, 1.55]
+        low, high = bootstrap_ratio_ci(base, cand)
+        point = min(cand) / min(base)
+        assert low <= point <= high
+
+    def test_identical_single_trials_collapse_to_point(self):
+        low, high = bootstrap_ratio_ci([2.0], [3.0])
+        assert low == pytest.approx(1.5)
+        assert high == pytest.approx(1.5)
+
+    def test_empty_side_gives_nan(self):
+        import math
+
+        low, high = bootstrap_ratio_ci([], [1.0])
+        assert math.isnan(low) and math.isnan(high)
+
+
+class TestClassification:
+    def test_identical_runs_are_unchanged(self):
+        base = ResultSet([_result([1.0, 1.02, 0.98])])
+        cand = ResultSet([_result([1.0, 1.02, 0.98])])
+        (delta,) = classify_cells(base, cand)
+        assert delta.classification == "unchanged"
+        assert not delta.gates
+
+    def test_two_times_slower_is_regressed(self):
+        base = ResultSet([_result([1.0, 1.05, 0.97, 1.02])])
+        cand = ResultSet([_result([2.0, 2.1, 1.94, 2.04])])
+        (delta,) = classify_cells(base, cand)
+        assert delta.classification == "regressed"
+        assert delta.gates
+        assert delta.ratio == pytest.approx(2.0, rel=0.1)
+        assert delta.ci_low > 1.0 + DEFAULT_NOISE_THRESHOLD
+
+    def test_two_times_faster_is_improved(self):
+        base = ResultSet([_result([2.0, 2.1, 1.94])])
+        cand = ResultSet([_result([1.0, 1.05, 0.97])])
+        (delta,) = classify_cells(base, cand)
+        assert delta.classification == "improved"
+        assert not delta.gates
+
+    def test_noise_within_threshold_is_unchanged(self):
+        base = ResultSet([_result([1.0, 1.1, 0.95])])
+        cand = ResultSet([_result([1.1, 1.0, 1.05])])
+        (delta,) = classify_cells(base, cand)
+        assert delta.classification == "unchanged"
+
+    def test_threshold_is_configurable(self):
+        base = ResultSet([_result([1.0, 1.0, 1.0])])
+        cand = ResultSet([_result([1.4, 1.4, 1.4])])
+        (loose,) = classify_cells(base, cand, threshold=0.5)
+        (tight,) = classify_cells(base, cand, threshold=0.1)
+        assert loose.classification == "unchanged"
+        assert tight.classification == "regressed"
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            classify_cells(ResultSet(), ResultSet(), threshold=-0.1)
+
+    def test_wide_noisy_ci_blocks_regression_call(self):
+        # Point ratio above threshold, but trials overlap heavily: the
+        # bootstrap interval includes parity, so the cell must not gate.
+        base = ResultSet([_result([1.0, 2.0, 3.0])])
+        cand = ResultSet([_result([1.4, 2.8, 0.9])])
+        (delta,) = classify_cells(base, cand, threshold=0.25)
+        assert delta.classification == "unchanged"
+
+    def test_broken_candidate_cell_gates(self):
+        base = ResultSet([_result([1.0, 1.0])])
+        cand = ResultSet([_result([], status="error")])
+        (delta,) = classify_cells(base, cand)
+        assert delta.classification == "broke"
+        assert delta.gates
+        assert "error" in delta.detail
+
+    def test_fixed_cell_does_not_gate(self):
+        base = ResultSet([_result([], status="timeout")])
+        cand = ResultSet([_result([1.0, 1.0])])
+        (delta,) = classify_cells(base, cand)
+        assert delta.classification == "fixed"
+        assert not delta.gates
+
+    def test_failing_in_both_runs_is_unchanged(self):
+        base = ResultSet([_result([], status="error")])
+        cand = ResultSet([_result([], status="error")])
+        (delta,) = classify_cells(base, cand)
+        assert delta.classification == "unchanged"
+
+    def test_added_and_removed_cells_never_gate(self):
+        base = ResultSet([_result([1.0], kernel="bfs")])
+        cand = ResultSet([_result([1.0], kernel="cc")])
+        deltas = classify_cells(base, cand)
+        classes = {d.kernel: d.classification for d in deltas}
+        assert classes == {"cc": "added", "bfs": "removed"}
+        assert not any(d.gates for d in deltas)
+
+    def test_cells_matched_by_full_identity(self):
+        # Same kernel/graph, different frameworks: must not cross-match.
+        base = ResultSet(
+            [_result([1.0], framework="gap"), _result([5.0], framework="gkc")]
+        )
+        cand = ResultSet(
+            [_result([1.0], framework="gap"), _result([5.0], framework="gkc")]
+        )
+        deltas = classify_cells(base, cand)
+        assert all(d.classification == "unchanged" for d in deltas)
+
+    def test_delta_names_the_cell(self):
+        base = ResultSet([_result([1.0], kernel="pr", graph="road")])
+        cand = ResultSet([_result([4.0], kernel="pr", graph="road")])
+        (delta,) = classify_cells(base, cand)
+        assert delta.cell == "gap/pr/road/baseline"
+
+    def test_as_dict_round_trips_to_json(self):
+        import json
+
+        base = ResultSet([_result([1.0, 1.1])])
+        cand = ResultSet([_result([2.4, 2.5])])
+        (delta,) = classify_cells(base, cand)
+        record = json.loads(json.dumps(delta.as_dict()))
+        assert record["classification"] == "regressed"
+        assert record["baseline_trials"] == 2
+
+
+class TestSummarize:
+    def test_counts_are_zero_filled(self):
+        assert summarize_deltas([]) == {
+            "improved": 0,
+            "regressed": 0,
+            "unchanged": 0,
+            "broke": 0,
+        }
+
+    def test_counts_by_classification(self):
+        base = ResultSet(
+            [
+                _result([1.0, 1.0], kernel="bfs"),
+                _result([1.0, 1.0], kernel="cc"),
+                _result([2.0, 2.0], kernel="pr"),
+            ]
+        )
+        cand = ResultSet(
+            [
+                _result([1.0, 1.0], kernel="bfs"),
+                _result([2.6, 2.6], kernel="cc"),
+                _result([1.0, 1.0], kernel="pr"),
+            ]
+        )
+        summary = summarize_deltas(classify_cells(base, cand))
+        assert summary == {
+            "improved": 1,
+            "regressed": 1,
+            "unchanged": 1,
+            "broke": 0,
+        }
