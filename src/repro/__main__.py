@@ -7,6 +7,8 @@ Subcommands::
                         [--out results.json] [--strict] [--timeout S]
                         [--trace trace.jsonl] [--track-memory]
                         [--jobs N] [--cache-dir DIR] [--no-cache]
+                        [--journal PATH] [--resume] [--retries N]
+                        [--breaker-threshold K]
     python -m repro tables --results results.json
     python -m repro graphs [--scale N]          # Table I
     python -m repro compare --results results.json
@@ -39,7 +41,7 @@ from pathlib import Path
 
 from .core import BenchmarkSpec, ResultSet, Telemetry, run_suite
 from .core.telemetry import read_trace
-from .errors import ArchiveError, BenchmarkConfigError
+from .errors import ArchiveError, BenchmarkConfigError, CampaignAborted, JournalError
 from .store import (
     DEFAULT_NOISE_THRESHOLD,
     RunArchive,
@@ -54,6 +56,39 @@ from .core.tables import failure_rows, render, table1_rows, table4_rows, table5_
 from .frameworks import EXTENDED_FRAMEWORK_NAMES, KERNELS, Mode, get
 from .generators import DEFAULT_SCALE, GRAPH_NAMES, build_corpus, build_graph, weighted_version
 from .graphs import GraphCache, write_edge_list
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type: an integer >= 1, with a readable error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """Argparse type: an integer >= 0, with a readable error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type: a finite number > 0, with a readable error."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not value > 0 or value != value or value == float("inf"):
+        raise argparse.ArgumentTypeError(f"must be > 0 and finite, got {text}")
+    return value
 
 
 def _split(value: str, allowed: tuple[str, ...], label: str) -> list[str]:
@@ -87,6 +122,17 @@ def _resolve_results(
     return record.run_id, record.load_results(), env if isinstance(env, dict) else None
 
 
+def _abort_note(verb: str, journal: str | None) -> str:
+    """Message for an interrupted campaign, pointing at the resume path."""
+    note = f"\ncampaign {verb}."
+    if journal:
+        note += (
+            f" completed cells are checkpointed in {journal}; "
+            "re-run with --resume to continue"
+        )
+    return note
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     print(f"repro {version_string()}")
     frameworks = [
@@ -96,9 +142,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     graphs = _split(args.graphs, GRAPH_NAMES, "graph")
     kernels = _split(args.kernels, KERNELS, "kernel")
     modes = [Mode(mode) for mode in args.modes.split(",")]
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal PATH (nothing to resume from)")
     try:
         spec = BenchmarkSpec(
-            scale=args.scale, trial_timeout=args.timeout, jobs=args.jobs
+            scale=args.scale,
+            trial_timeout=args.timeout,
+            jobs=args.jobs,
+            retries=args.retries,
+            breaker_threshold=args.breaker_threshold,
         )
     except BenchmarkConfigError as exc:
         raise SystemExit(f"invalid run configuration: {exc}")
@@ -128,7 +180,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
             telemetry=telemetry,
             strict=args.strict,
             cache=cache,
+            journal=args.journal,
+            resume=args.resume,
         )
+    except JournalError as exc:
+        print(f"\ncannot resume campaign: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print(_abort_note("interrupted", args.journal), file=sys.stderr)
+        return 130
+    except CampaignAborted:
+        print(_abort_note("terminated", args.journal), file=sys.stderr)
+        return 143
     except Exception as exc:
         # --strict fail-fast aborts on the first broken cell; without it
         # only infrastructure failures (not cell failures) land here.
@@ -380,7 +443,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     run_parser.add_argument(
         "--timeout",
-        type=float,
+        type=_positive_float,
         default=None,
         metavar="SECONDS",
         help="per-trial wall-clock deadline; an over-budget trial becomes a "
@@ -400,7 +463,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     run_parser.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=1,
         metavar="N",
         help="worker processes for the campaign (default 1 = serial); with "
@@ -418,6 +481,37 @@ def main(argv: list[str] | None = None) -> int:
         "--no-cache",
         action="store_true",
         help="always regenerate graphs; neither read nor write the cache",
+    )
+    run_parser.add_argument(
+        "--retries",
+        type=_nonnegative_int,
+        default=0,
+        metavar="N",
+        help="re-run a cell up to N extra times after a *transient* failure "
+        "(worker crash, OOM kill, cache corruption) with exponential "
+        "backoff; deterministic failures are never retried",
+    )
+    run_parser.add_argument(
+        "--breaker-threshold",
+        type=_nonnegative_int,
+        default=0,
+        metavar="K",
+        help="after K consecutive hard failures of one framework/kernel "
+        "combination, skip its remaining cells as structured 'skipped' "
+        "results (default 0 = disabled)",
+    )
+    run_parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="checkpoint every completed cell to this crash-safe JSONL "
+        "journal; combine with --resume to continue an interrupted campaign",
+    )
+    run_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already recorded in --journal (validated against "
+        "the campaign fingerprint) and measure only the rest",
     )
     run_parser.add_argument(
         "--archive",

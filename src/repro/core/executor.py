@@ -27,24 +27,42 @@ Every cell still runs the exact serial measurement protocol
 and statuses are identical to ``jobs=1`` — only wall-clock parallelism
 and the kill guarantee differ.  ``tests/test_executor.py`` pins that
 equivalence.
+
+Dispatch is **parent-driven**: instead of pre-queuing the whole campaign,
+the parent hands out one ``(cell, attempt)`` task per free worker slot.
+That is what lets the resilience layer act mid-campaign — a transiently
+failed cell is re-dispatched after its deterministic backoff
+(``spec.retries``), a cell whose worker died twice (a crash loop) falls
+back to in-parent serial execution over the parent's own shared segment,
+an open circuit breaker converts still-queued cells of the broken
+(framework, kernel) combo into ``skipped`` results at zero cost, and
+every finalized cell is durably appended to the checkpoint journal the
+moment it completes.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import queue as queue_mod
+import signal
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 from ..errors import CellFailedError, TrialTimeoutError
 from ..frameworks.base import KERNELS, Framework, Mode
 from ..graphs.cache import GraphCache
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.retry import RetryPolicy
 from .results import ResultSet, RunResult
-from .runner import _failed_result, build_case, run_cell
+from .runner import _failed_result, _skip_span, _skipped_result, build_case, run_cell
 from .sharedmem import SharedCase, SharedCaseHandle, attach_case
 from .spec import BenchmarkSpec
 from .telemetry import STATUS_ERROR, STATUS_TIMEOUT, Span, Telemetry
+
+if TYPE_CHECKING:  # layering: the journal lives above repro.core
+    from ..resilience.journal import CheckpointJournal
 
 __all__ = ["run_suite_parallel", "DEFAULT_KILL_GRACE_SECONDS"]
 
@@ -91,21 +109,26 @@ def _worker_main(
     deadline is armed and catches interruptible overruns without costing a
     process kill; the parent's hard kill is the backstop for the rest.
     """
+    if hasattr(signal, "SIGTERM"):
+        # Undo any graceful_shutdown handler inherited over fork: a worker
+        # the parent terminates should just die, not raise CampaignAborted.
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
     attached = {name: attach_case(handle) for name, handle in handles.items()}
     telemetry = Telemetry(track_memory=track_memory)
     try:
         while True:
-            cell = tasks.get()
-            if cell is None:
+            task = tasks.get()
+            if task is None:
                 results.put(("exit", slot))
                 return
-            results.put(("start", slot, cell.index))
+            cell, attempt = task
+            results.put(("start", slot, cell.index, attempt))
             case = attached[cell.graph].case
             framework = frameworks[cell.framework]
             try:
                 result = run_cell(
                     framework, cell.kernel, case, cell.mode, spec,
-                    telemetry=telemetry,
+                    telemetry=telemetry, attempt=attempt,
                 )
             except TrialTimeoutError as exc:
                 result = _failed_result(
@@ -117,7 +140,7 @@ def _worker_main(
                 )
             spans = [span.as_dict() for span in telemetry.spans]
             telemetry.spans.clear()
-            results.put(("done", slot, cell.index, result, spans))
+            results.put(("done", slot, cell.index, attempt, result, spans))
     finally:
         for attachment in attached.values():
             attachment.close()
@@ -156,12 +179,18 @@ def run_suite_parallel(
     strict: bool = False,
     cache: GraphCache | None = None,
     kill_grace: float = DEFAULT_KILL_GRACE_SECONDS,
+    journal: "CheckpointJournal | None" = None,
+    completed: Mapping[tuple[str, str, str, str], RunResult] | None = None,
 ) -> ResultSet:
     """Run a campaign over a process pool; see the module docstring.
 
     Prefer calling ``run_suite(..., jobs=N)``, which dispatches here; this
     entry point additionally exposes ``kill_grace`` (headroom past a
     cell's trial budgets before the hard kill) for tests and benches.
+    ``journal`` receives every finalized cell; ``completed`` (cell key →
+    result, from a resumed journal) pre-fills those cells — they are
+    neither re-executed nor re-journaled, and their graphs are not even
+    exported if no other cell needs them.
     """
     spec = spec or BenchmarkSpec()
     tel = telemetry if telemetry is not None else Telemetry()
@@ -170,6 +199,9 @@ def run_suite_parallel(
     graph_names = list(graph_names)
     kernels = list(kernels)
     modes = list(modes)
+    completed = dict(completed or {})
+    policy = RetryPolicy(retries=spec.retries)
+    breaker = CircuitBreaker(spec.breaker_threshold)
 
     cells: list[_Cell] = []
     for graph_name in graph_names:
@@ -181,25 +213,61 @@ def run_suite_parallel(
                     )
     if not cells:
         return ResultSet()
-    jobs = max(1, min(int(jobs), len(cells)))
+
+    results_by_index: dict[int, RunResult] = {}
+    for cell in cells:
+        key = (cell.graph, cell.mode.value, cell.kernel, cell.framework)
+        if key in completed:
+            results_by_index[cell.index] = completed[key]
+    total = len(cells)
+    if len(results_by_index) == total:
+        return ResultSet([results_by_index[index] for index in range(total)])
+
+    runnable = [cell for cell in cells if cell.index not in results_by_index]
+    needed_graphs = {cell.graph for cell in runnable}
+    jobs = max(1, min(int(jobs), len(runnable)))
 
     # fork shares the already-imported interpreter state and is cheap;
     # spawn is the portable fallback (frameworks/spec pickle either way).
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-    task_queue = ctx.Queue()
     result_queue = ctx.Queue()
+    retired_queues: list[object] = []
 
     shared: dict[str, SharedCase] = {}
     workers: dict[int, dict[str, object]] = {}
-    results_by_index: dict[int, RunResult] = {}
+
+    #: Tasks ready to hand to a worker, in canonical order; retries rejoin
+    #: here once their backoff elapses.
+    pending: deque[tuple[_Cell, int]] = deque((cell, 0) for cell in runnable)
+    #: Retries waiting out their deterministic backoff: (ready_at, cell, attempt).
+    retry_waiting: list[tuple[float, _Cell, int]] = []
+    #: Worker deaths per cell index — two means crash loop, fall back in-parent.
+    deaths: dict[int, int] = {}
+    #: (index, attempt) pairs already settled, so a kill racing a late
+    #: "done" message for the same attempt cannot account a cell twice.
+    accounted: set[tuple[int, int]] = set()
+    completed_count = len(results_by_index)
 
     def spawn(slot: int) -> None:
+        """Start (or replace) the worker in one slot.
+
+        Dispatch is slot-addressed — each worker drains its own task
+        queue, and the parent records an assignment the moment it puts the
+        task, *before* the worker echoes "start".  A worker that dies the
+        instant it picks a task up therefore can never lose the task: the
+        parent's own bookkeeping, not a message that may still be in
+        flight, says what the slot was running.  A replacement gets a
+        fresh queue so it cannot consume a task already accounted as lost.
+        """
+        if slot in workers:
+            retired_queues.append(workers[slot]["queue"])
+        tasks = ctx.Queue()
         process = ctx.Process(
             target=_worker_main,
             args=(
                 slot,
-                task_queue,
+                tasks,
                 result_queue,
                 spec,
                 {name: sc.handle for name, sc in shared.items()},
@@ -211,87 +279,184 @@ def run_suite_parallel(
         process.start()
         workers[slot] = {
             "process": process,
+            "queue": tasks,
             "cell": None,
+            "attempt": 0,
             "deadline": None,
             "started": 0.0,
             "exited": False,
         }
 
-    def record_lost_cell(slot: int, cell: _Cell, status: str, message: str) -> None:
-        """Account a cell whose worker was killed or crashed."""
-        state = workers[slot]
-        results_by_index[cell.index] = RunResult(
-            framework=cell.framework,
-            kernel=cell.kernel,
-            graph=cell.graph,
-            mode=cell.mode,
-            trial_seconds=[],
-            verified=False,
-            status=status,
-            error=message,
+    def record_skip(cell: _Cell) -> None:
+        """Account a cell the open circuit breaker short-circuited."""
+        nonlocal completed_count
+        reason = breaker.reason(cell.framework, cell.kernel)
+        result = _skipped_result(
+            cell.framework, cell.kernel, cell.graph, cell.mode, reason
         )
+        results_by_index[cell.index] = result
+        completed_count += 1
         tel.ingest(
-            _killed_cell_span(
-                cell, status, message, time.monotonic() - state["started"]
-            )
+            _skip_span(cell.framework, cell.kernel, cell.graph, cell.mode, reason)
         )
+        if journal is not None:
+            journal.record(result)
+
+    def prune_open_combos() -> None:
+        """Convert still-queued cells of newly opened combos into skips."""
+        for task in list(pending):
+            if breaker.is_open(task[0].framework, task[0].kernel):
+                pending.remove(task)
+                record_skip(task[0])
+
+    def finalize(cell: _Cell, result: RunResult, attempt: int) -> None:
+        """Commit a cell's final result: journal, breaker, strict check."""
+        nonlocal completed_count
+        result.attempts = attempt + 1
+        results_by_index[cell.index] = result
+        completed_count += 1
+        opened = breaker.record(cell.framework, cell.kernel, result.ok)
+        if journal is not None:
+            journal.record(result)
+        if opened:
+            prune_open_combos()
+        if strict and not result.ok:
+            if result.status == STATUS_TIMEOUT:
+                raise TrialTimeoutError(f"cell {cell.label}: {result.error}")
+            raise CellFailedError(f"cell {cell.label} failed: {result.error}")
+
+    def settle(cell: _Cell, result: RunResult, attempt: int) -> None:
+        """Route one executed attempt: finalize it or schedule a retry."""
+        if result.ok or not policy.should_retry(result.status, result.error, attempt):
+            finalize(cell, result, attempt)
+            return
+        retry_waiting.append(
+            (time.monotonic() + policy.backoff_seconds(attempt), cell, attempt + 1)
+        )
+
+    def run_in_parent(cell: _Cell, attempt: int) -> float:
+        """Crash-loop fallback: execute the cell in this process.
+
+        Two dead workers in a row for one cell means dispatching a third
+        is likely to burn another process for nothing; the parent attaches
+        to its own shared segment (zero-copy) and runs the cell serially
+        instead.  Returns the elapsed wall time so the supervisor can
+        extend the deadlines of workers it could not watch meanwhile.
+        """
+        if progress is not None:
+            progress(f"{cell.label} (in-parent)")
+        begun = time.monotonic()
+        attachment = attach_case(shared[cell.graph].handle)
+        try:
+            framework = frameworks_by_name[cell.framework]
+            case = attachment.case
+            try:
+                result = run_cell(
+                    framework, cell.kernel, case, cell.mode, spec,
+                    telemetry=tel, attempt=attempt,
+                )
+            except TrialTimeoutError as exc:
+                result = _failed_result(
+                    framework, cell.kernel, case, cell.mode, "timeout", exc
+                )
+            except Exception as exc:
+                result = _failed_result(
+                    framework, cell.kernel, case, cell.mode, "error", exc
+                )
+        finally:
+            attachment.close()
+        settle(cell, result, attempt)
+        return time.monotonic() - begun
+
+    def next_task() -> tuple[_Cell, int] | None:
+        """Pop the next dispatchable task, skipping open-breaker cells."""
+        while pending:
+            cell, attempt = pending.popleft()
+            if breaker.is_open(cell.framework, cell.kernel):
+                record_skip(cell)
+                continue
+            return cell, attempt
+        return None
+
+    def dispatch() -> None:
+        """Assign pending tasks to idle live workers, slot by slot."""
+        for state in workers.values():
+            if (
+                state["cell"] is not None
+                or state["exited"]
+                or not state["process"].is_alive()
+            ):
+                continue
+            task = next_task()
+            if task is None:
+                return
+            cell, attempt = task
+            state["cell"] = cell
+            state["attempt"] = attempt
+            state["started"] = time.monotonic()
+            state["deadline"] = (
+                state["started"] + _cell_budget(spec, cell.kernel, kill_grace)
+                if spec.trial_timeout is not None
+                else None
+            )
+            state["queue"].put(task)
 
     try:
-        # Build the corpus once (cache-aware) and publish it.
+        # Build the still-needed corpus once (cache-aware) and publish it.
         for graph_name in graph_names:
-            shared[graph_name] = SharedCase(build_case(graph_name, spec, cache))
+            if graph_name in needed_graphs:
+                shared[graph_name] = SharedCase(build_case(graph_name, spec, cache))
 
-        for cell in cells:
-            task_queue.put(cell)
-        for _ in range(jobs):
-            task_queue.put(None)
         for slot in range(jobs):
             spawn(slot)
+        dispatch()
 
-        completed = 0
-        while completed < len(cells):
+        while completed_count < total:
+            # Drain every queued message before supervising deadlines, so
+            # a "done" that arrived while the parent was busy (e.g. an
+            # in-parent fallback run) is never mistaken for an overrun.
+            messages = []
             try:
-                message = result_queue.get(timeout=_POLL_SECONDS)
+                messages.append(result_queue.get(timeout=_POLL_SECONDS))
             except queue_mod.Empty:
-                message = None
-            if message is not None:
+                pass
+            while True:
+                try:
+                    messages.append(result_queue.get_nowait())
+                except queue_mod.Empty:
+                    break
+
+            for message in messages:
                 kind = message[0]
                 if kind == "start":
-                    _, slot, index = message
+                    # The assignment is already recorded (dispatch did it);
+                    # the echo just restarts the deadline clock so queue
+                    # latency never eats into a cell's kill budget.
+                    _, slot, index, attempt = message
                     state = workers[slot]
-                    state["cell"] = cells[index]
-                    state["started"] = time.monotonic()
-                    state["deadline"] = (
-                        state["started"]
-                        + _cell_budget(spec, cells[index].kernel, kill_grace)
-                        if spec.trial_timeout is not None
-                        else None
-                    )
+                    if state["cell"] is not None and state["cell"].index == index:
+                        state["started"] = time.monotonic()
+                        if state["deadline"] is not None:
+                            state["deadline"] = state["started"] + _cell_budget(
+                                spec, cells[index].kernel, kill_grace
+                            )
                     if progress is not None:
                         progress(cells[index].label)
                 elif kind == "done":
-                    _, slot, index, result, span_records = message
+                    _, slot, index, attempt, result, span_records = message
                     state = workers[slot]
-                    state["cell"] = None
-                    state["deadline"] = None
-                    if index in results_by_index:
+                    if state["cell"] is not None and state["cell"].index == index:
+                        state["cell"] = None
+                        state["deadline"] = None
+                    if (index, attempt) in accounted:
                         # Raced with a hard kill that already accounted it.
                         continue
-                    results_by_index[index] = result
-                    completed += 1
+                    accounted.add((index, attempt))
                     for record in span_records:
                         tel.ingest(Span.from_dict(record))
-                    if strict and not result.ok:
-                        if result.status == STATUS_TIMEOUT:
-                            raise TrialTimeoutError(
-                                f"cell {cells[index].label}: {result.error}"
-                            )
-                        raise CellFailedError(
-                            f"cell {cells[index].label} failed: {result.error}"
-                        )
+                    settle(cells[index], result, attempt)
                 elif kind == "exit":
-                    _, slot = message
-                    workers[slot]["exited"] = True
+                    workers[message[1]]["exited"] = True
 
             now = time.monotonic()
             for slot in list(workers):
@@ -300,12 +465,12 @@ def run_suite_parallel(
                 cell = state["cell"]
                 if cell is None:
                     # A worker that died between cells (or failed to start)
-                    # is replaced so the queue keeps draining; exit code 0
+                    # is replaced so dispatch keeps flowing; exit code 0
                     # means its "exit" message is simply still in flight.
                     if not process.is_alive() and not state["exited"]:
                         if process.exitcode == 0:
                             state["exited"] = True
-                        elif completed < len(cells):
+                        elif completed_count < total:
                             spawn(slot)
                     continue
                 overdue = state["deadline"] is not None and now > state["deadline"]
@@ -332,20 +497,52 @@ def run_suite_parallel(
                         f"worker process died mid-cell "
                         f"(exit code {process.exitcode})"
                     )
-                record_lost_cell(slot, cell, status, message_text)
-                completed += 1
+                attempt = state["attempt"]
                 state["cell"] = None
                 state["deadline"] = None
-                if strict:
-                    if status == STATUS_TIMEOUT:
-                        raise TrialTimeoutError(f"cell {cell.label}: {message_text}")
-                    raise CellFailedError(f"cell {cell.label}: {message_text}")
-                if completed < len(cells):
-                    # The killed worker never consumed its shutdown
-                    # sentinel; the replacement inherits it.
+                if (cell.index, attempt) not in accounted:
+                    accounted.add((cell.index, attempt))
+                    if died:
+                        deaths[cell.index] = deaths.get(cell.index, 0) + 1
+                    lost = RunResult(
+                        framework=cell.framework,
+                        kernel=cell.kernel,
+                        graph=cell.graph,
+                        mode=cell.mode,
+                        trial_seconds=[],
+                        verified=False,
+                        status=status,
+                        error=message_text,
+                    )
+                    tel.ingest(
+                        _killed_cell_span(
+                            cell, status, message_text, now - state["started"]
+                        )
+                    )
+                    settle(cell, lost, attempt)
+                if completed_count < total:
                     spawn(slot)
 
-        # Campaign complete: let workers drain their sentinels and exit.
+            # Release retries whose deterministic backoff has elapsed.
+            now = time.monotonic()
+            for entry in [e for e in retry_waiting if e[0] <= now]:
+                retry_waiting.remove(entry)
+                _, cell, attempt = entry
+                if breaker.is_open(cell.framework, cell.kernel):
+                    record_skip(cell)
+                elif deaths.get(cell.index, 0) >= 2:
+                    inline_elapsed = run_in_parent(cell, attempt)
+                    for state in workers.values():
+                        if state["deadline"] is not None:
+                            state["deadline"] += inline_elapsed
+                else:
+                    pending.append((cell, attempt))
+
+            dispatch()
+
+        # Campaign complete: send sentinels, let workers drain and exit.
+        for state in workers.values():
+            state["queue"].put(None)
         for state in workers.values():
             process = state["process"]
             process.join(5.0)
@@ -358,10 +555,11 @@ def run_suite_parallel(
             if process.is_alive():
                 process.terminate()
                 process.join(1.0)
-        for q in (task_queue, result_queue):
+        queues = [state["queue"] for state in workers.values()]
+        for q in [result_queue, *queues, *retired_queues]:
             q.close()
             q.cancel_join_thread()
         for shared_case in shared.values():
             shared_case.close(unlink=True)
 
-    return ResultSet([results_by_index[index] for index in range(len(cells))])
+    return ResultSet([results_by_index[index] for index in range(total)])

@@ -8,8 +8,12 @@ else.
 
 A cell that crashed or overran its deadline is still a record: ``status``
 is ``"error"`` / ``"timeout"`` (with the exception in ``error``) instead
-of ``"ok"``, and ``trial_seconds`` holds whatever trials completed.  The
-table renderers skip non-ok cells; the failure table reports them.
+of ``"ok"``, and ``trial_seconds`` holds whatever trials completed.  A
+cell that never ran because its (framework, kernel) circuit breaker was
+open is ``"skipped"`` (see :mod:`repro.resilience.breaker`), with the
+skip reason in ``error``.  The table renderers skip non-ok cells; the
+failure table reports them.  ``attempts`` counts executions of the cell
+(> 1 when the retry policy re-ran a transient failure).
 """
 
 from __future__ import annotations
@@ -47,6 +51,7 @@ class RunResult:
     extras: dict[str, float] = field(default_factory=dict)
     status: str = "ok"
     error: str = ""
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -126,7 +131,32 @@ class RunResult:
             "extras": self.extras,
             "status": self.status,
             "error": self.error,
+            "attempts": self.attempts,
         }
+
+    @classmethod
+    def from_dict(cls, item: dict[str, object]) -> "RunResult":
+        """Rebuild a record from its :meth:`as_dict` form.
+
+        The single deserialization path shared by results files and the
+        checkpoint journal, so a journaled cell round-trips to the exact
+        record an uninterrupted campaign would hold.
+        """
+        return cls(
+            framework=item["framework"],
+            kernel=item["kernel"],
+            graph=item["graph"],
+            mode=Mode(item["mode"]),
+            trial_seconds=list(item["trial_seconds"]),
+            verified=bool(item["verified"]),
+            edges_examined=int(item["edges_examined"]),
+            rounds=int(item["rounds"]),
+            iterations=int(item["iterations"]),
+            extras=dict(item["extras"]),
+            status=str(item.get("status", "ok")),
+            error=str(item.get("error", "")),
+            attempts=int(item.get("attempts", 1)),
+        )
 
 
 class ResultSet:
@@ -181,8 +211,12 @@ class ResultSet:
         return matches[0] if matches else None
 
     def failures(self) -> list[RunResult]:
-        """All non-ok cells (errors and timeouts), in run order."""
+        """All non-ok cells (errors, timeouts, skips), in run order."""
         return [result for result in self.results if not result.ok]
+
+    def skipped(self) -> list[RunResult]:
+        """Cells a circuit breaker converted to ``skipped``, in run order."""
+        return [result for result in self.results if result.status == "skipped"]
 
     def frameworks(self) -> list[str]:
         """Framework names present, in first-seen order."""
@@ -234,24 +268,7 @@ class ResultSet:
             meta = dict(raw.get("meta", {}))
         else:  # v1 legacy payload: a bare list of cell records
             items, meta = raw, {}
-        results = [
-            RunResult(
-                framework=item["framework"],
-                kernel=item["kernel"],
-                graph=item["graph"],
-                mode=Mode(item["mode"]),
-                trial_seconds=list(item["trial_seconds"]),
-                verified=bool(item["verified"]),
-                edges_examined=int(item["edges_examined"]),
-                rounds=int(item["rounds"]),
-                iterations=int(item["iterations"]),
-                extras=dict(item["extras"]),
-                status=str(item.get("status", "ok")),
-                error=str(item.get("error", "")),
-            )
-            for item in items
-        ]
-        return cls(results, meta=meta)
+        return cls([RunResult.from_dict(item) for item in items], meta=meta)
 
     def __len__(self) -> int:
         return len(self.results)

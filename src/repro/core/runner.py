@@ -20,6 +20,14 @@ raises on failure (callers that benchmark a single cell want the
 traceback); ``run_suite`` isolates faults by default — a crashing or
 hanging framework cell becomes a recorded ``error``/``timeout`` result
 and the campaign continues — unless ``strict=True`` restores fail-fast.
+
+On top of isolation, ``run_suite`` layers the resilience machinery
+(:mod:`repro.resilience`): every completed cell is durably appended to a
+checkpoint ``journal`` (and ``resume=True`` skips cells the journal
+already holds), transient failures are retried per ``spec.retries`` with
+deterministic backoff, a per-(framework, kernel) circuit breaker converts
+the remainder of a persistently failing combo into ``skipped`` results,
+and SIGTERM unwinds the campaign cleanly instead of killing it mid-cell.
 """
 
 from __future__ import annotations
@@ -34,12 +42,19 @@ from ..frameworks.base import KERNELS, Framework, Mode, RunContext
 from ..generators import build_graph, weighted_version
 from ..graphs import CSRGraph
 from ..graphs.cache import GraphCache
+# Submodule-direct imports: repro.resilience.journal sits above repro.core
+# (it needs RunResult), so the journal is imported lazily in run_suite; the
+# fault/retry/breaker/signal modules below are layering-free.
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.faults import active_plan, corrupt_cache, fire, transform_output
+from ..resilience.retry import RetryPolicy
+from ..resilience.signals import graceful_shutdown
 from . import counters as counters_mod
 from . import verify
 from .memory import track_peak_memory
 from .results import ResultSet, RunResult
 from .spec import BenchmarkSpec, SourcePicker
-from .telemetry import STATUS_OK, Span, Telemetry, TrialDeadline
+from .telemetry import STATUS_OK, STATUS_SKIPPED, Span, Telemetry, TrialDeadline
 
 __all__ = ["GraphCase", "build_case", "run_cell", "run_suite"]
 
@@ -84,6 +99,11 @@ def build_case(graph_name: str, spec: BenchmarkSpec, cache: GraphCache | None = 
     builds the case and persists it for the next campaign.
     """
     if cache is not None:
+        plan = active_plan(spec)
+        if plan:
+            # Fault-injection point: damage the artifact *before* the load
+            # so the checksum-validated degrade-to-miss path is exercised.
+            corrupt_cache(plan, cache, graph_name, spec.scale, spec.seed)
         views = cache.load_views(graph_name, spec.scale, spec.seed)
         if views is not None:
             return GraphCase(graph_name, *views)
@@ -194,13 +214,18 @@ def run_cell(
     mode: Mode,
     spec: BenchmarkSpec,
     telemetry: Telemetry | None = None,
+    attempt: int = 0,
 ) -> RunResult:
     """Benchmark one (framework, kernel, graph, mode) cell.
 
     Raises on kernel error, verification failure, or deadline overrun;
     either way the cell's telemetry span records what happened first.
+    ``attempt`` is the 0-based execution count under the retry policy;
+    re-executions stamp it on the cell span (and it addresses injected
+    faults, so "fail on attempt 0 only" plans are expressible).
     """
     tel = telemetry if telemetry is not None else Telemetry()
+    plan = active_plan(spec)
     ctx = RunContext(
         mode=mode,
         graph_name=case.name,
@@ -225,6 +250,8 @@ def run_cell(
         graph=case.name,
         mode=mode.value,
     ) as cell:
+        if attempt:
+            cell.attributes["attempt"] = attempt
         try:
             cell.attributes["phase"] = "prepare"
             prepare_start = time.perf_counter()
@@ -243,31 +270,40 @@ def run_cell(
                 cell.attributes["phase"] = "kernel"
                 cell.attributes["trial"] = trial
 
+                def timed_kernel() -> tuple[object, float]:
+                    # In-trial fault-injection point: inside the deadline
+                    # scope, so an injected hang times out exactly like a
+                    # genuinely hung kernel.
+                    with deadline:
+                        if plan:
+                            fire(
+                                plan, framework.name, kernel,
+                                case.name, mode.value, attempt,
+                            )
+                        start = time.perf_counter()
+                        out = framework.run_kernel(
+                            kernel, prepared, ctx,
+                            source=source, sources=sources,
+                            pr_tolerance=spec.pr_tolerance,
+                        )
+                        return out, time.perf_counter() - start
+
                 with counters_mod.counting() as trial_work:
                     if tel.track_memory and trial == 0:
                         with track_peak_memory() as tracked:
-                            with deadline:
-                                start = time.perf_counter()
-                                output = framework.run_kernel(
-                                    kernel, prepared, ctx,
-                                    source=source, sources=sources,
-                                    pr_tolerance=spec.pr_tolerance,
-                                )
-                                elapsed = time.perf_counter() - start
+                            output, elapsed = timed_kernel()
                         peak_bytes = tracked.peak_bytes
                     else:
-                        with deadline:
-                            start = time.perf_counter()
-                            output = framework.run_kernel(
-                                kernel, prepared, ctx,
-                                source=source, sources=sources,
-                                pr_tolerance=spec.pr_tolerance,
-                            )
-                            elapsed = time.perf_counter() - start
+                        output, elapsed = timed_kernel()
                 trial_seconds.append(elapsed)
 
                 if trial == 0:
                     work = trial_work
+                    if plan:
+                        output = transform_output(
+                            plan, framework.name, kernel,
+                            case.name, mode.value, attempt, output,
+                        )
                     if spec.verify:
                         cell.attributes["phase"] = "verify"
                         verify_start = time.perf_counter()
@@ -328,6 +364,45 @@ def _failed_result(
     )
 
 
+def _skipped_result(
+    framework_name: str, kernel: str, graph_name: str, mode: Mode, reason: str
+) -> RunResult:
+    """A structured ``skipped`` cell (circuit breaker open; never executed)."""
+    return RunResult(
+        framework=framework_name,
+        kernel=kernel,
+        graph=graph_name,
+        mode=mode,
+        trial_seconds=[],
+        verified=False,
+        status=STATUS_SKIPPED,
+        error=reason,
+    )
+
+
+def _skip_span(
+    framework_name: str, kernel: str, graph_name: str, mode: Mode, reason: str
+) -> Span:
+    """The telemetry record of a breaker-skipped cell.
+
+    Built directly (not via ``Telemetry.span``) because nothing executes:
+    the span carries zero wall time and the skip reason, keeping the trace
+    one-record-per-cell even for cells the breaker short-circuited.
+    """
+    span = Span(
+        name="cell",
+        attributes={
+            "framework": framework_name,
+            "kernel": kernel,
+            "graph": graph_name,
+            "mode": mode.value,
+            "skip_reason": reason,
+        },
+        status=STATUS_SKIPPED,
+    )
+    return span
+
+
 def run_suite(
     frameworks: Iterable[Framework],
     graph_names: Iterable[str],
@@ -339,6 +414,8 @@ def run_suite(
     strict: bool = False,
     jobs: int | None = None,
     cache: GraphCache | None = None,
+    journal: "str | None" = None,
+    resume: bool = False,
 ) -> ResultSet:
     """Run the full campaign; returns all cell results.
 
@@ -354,6 +431,21 @@ def run_suite(
     deadline becomes a *hard* kill.  ``jobs=1`` is the in-process serial
     path, where the deadline is soft (see :class:`TrialDeadline`).
     ``cache`` routes graph building through a persistent on-disk cache.
+
+    Resilience layer (both paths):
+
+    * ``journal`` — path of a checkpoint journal; every completed cell is
+      durably appended.  With ``resume=True`` an existing journal is
+      validated against this campaign's fingerprint and its completed
+      cells are *not* re-executed — their recorded results slot into the
+      returned set at their canonical positions.
+    * ``spec.retries`` — transient cell failures re-execute with
+      deterministic backoff; ``RunResult.attempts`` counts executions.
+    * ``spec.breaker_threshold`` — after that many consecutive hard
+      failures of one (framework, kernel), its remaining cells become
+      ``skipped`` results.
+    * SIGTERM raises :class:`~repro.errors.CampaignAborted`, so the
+      journal is flushed and resources are released on the way out.
     """
     spec = spec or BenchmarkSpec()
     effective_jobs = spec.jobs if jobs is None else int(jobs)
@@ -361,63 +453,153 @@ def run_suite(
     graph_names = list(graph_names)
     kernels = list(kernels)
     modes = list(modes)
-    # Lazy: repro.store sits above repro.core in the layering.
+    # Lazy: repro.store (and the journal, which needs it) sit above
+    # repro.core in the layering.
+    from ..resilience.journal import CheckpointJournal, campaign_fingerprint
     from ..store.environment import fingerprint
 
+    mode_values = [mode.value for mode in modes]
+    framework_names = [framework.name for framework in frameworks]
     campaign_meta: dict[str, object] = {
         "spec": spec.as_dict(),
         "environment": fingerprint(),
         "graphs": graph_names,
         "kernels": kernels,
-        "modes": [mode.value for mode in modes],
-        "frameworks": [framework.name for framework in frameworks],
+        "modes": mode_values,
+        "frameworks": framework_names,
         "jobs": effective_jobs,
     }
-    if effective_jobs > 1:
-        from .executor import run_suite_parallel
 
-        results = run_suite_parallel(
-            frameworks,
-            graph_names,
-            kernels=kernels,
-            modes=modes,
-            spec=spec,
-            jobs=effective_jobs,
-            progress=progress,
-            telemetry=telemetry,
-            strict=strict,
-            cache=cache,
+    completed: dict[tuple[str, str, str, str], RunResult] = {}
+    journal_obj: CheckpointJournal | None = None
+    if journal is not None:
+        cell_fingerprint = campaign_fingerprint(
+            spec, graph_names, kernels, mode_values, framework_names
         )
-        results.meta.update(campaign_meta)
-        return results
-    tel = telemetry if telemetry is not None else Telemetry()
-    results = ResultSet(meta=campaign_meta)
-    from ..errors import TrialTimeoutError
+        if resume:
+            journal_obj, completed = CheckpointJournal.resume(
+                journal, cell_fingerprint
+            )
+            # A journal may hold cells outside this campaign's grid only
+            # if fingerprints matched yet axes changed — impossible by
+            # construction — but filtering keeps the invariant local.
+            grid = {
+                (graph, mode.value, kernel, name)
+                for graph in graph_names
+                for mode in modes
+                for kernel in kernels
+                for name in framework_names
+            }
+            completed = {key: completed[key] for key in completed if key in grid}
+        else:
+            journal_obj = CheckpointJournal.create(journal, cell_fingerprint)
+    campaign_meta["resilience"] = {
+        "retries": spec.retries,
+        "breaker_threshold": spec.breaker_threshold,
+        "journal": str(journal_obj.path) if journal_obj is not None else None,
+        "resumed_cells": len(completed),
+    }
 
-    for graph_name in graph_names:
-        case = build_case(graph_name, spec, cache)
-        for mode in modes:
-            for kernel in kernels:
-                for framework in frameworks:
-                    if progress is not None:
-                        progress(
-                            f"{mode.value}/{graph_name}/{kernel}/{framework.name}"
-                        )
-                    try:
-                        result = run_cell(
-                            framework, kernel, case, mode, spec, telemetry=tel
-                        )
-                    except TrialTimeoutError as exc:
-                        if strict:
-                            raise
-                        result = _failed_result(
-                            framework, kernel, case, mode, "timeout", exc
-                        )
-                    except Exception as exc:
-                        if strict:
-                            raise
-                        result = _failed_result(
-                            framework, kernel, case, mode, "error", exc
-                        )
-                    results.add(result)
-    return results
+    try:
+        if effective_jobs > 1:
+            from .executor import run_suite_parallel
+
+            with graceful_shutdown():
+                results = run_suite_parallel(
+                    frameworks,
+                    graph_names,
+                    kernels=kernels,
+                    modes=modes,
+                    spec=spec,
+                    jobs=effective_jobs,
+                    progress=progress,
+                    telemetry=telemetry,
+                    strict=strict,
+                    cache=cache,
+                    journal=journal_obj,
+                    completed=completed,
+                )
+            campaign_meta["resilience"]["skipped_cells"] = len(results.skipped())
+            results.meta.update(campaign_meta)
+            return results
+
+        tel = telemetry if telemetry is not None else Telemetry()
+        results = ResultSet(meta=campaign_meta)
+        policy = RetryPolicy(retries=spec.retries)
+        breaker = CircuitBreaker(spec.breaker_threshold)
+        from ..errors import TrialTimeoutError
+
+        with graceful_shutdown():
+            for graph_name in graph_names:
+                graph_keys = [
+                    (graph_name, mode.value, kernel, name)
+                    for mode in modes
+                    for kernel in kernels
+                    for name in framework_names
+                ]
+                case: GraphCase | None = None
+                if any(key not in completed for key in graph_keys):
+                    # A fully resumed graph is never built — resuming the
+                    # tail of a campaign costs nothing for finished inputs.
+                    case = build_case(graph_name, spec, cache)
+                for mode in modes:
+                    for kernel in kernels:
+                        for framework in frameworks:
+                            key = (graph_name, mode.value, kernel, framework.name)
+                            if key in completed:
+                                results.add(completed[key])
+                                continue
+                            if progress is not None:
+                                progress(
+                                    f"{mode.value}/{graph_name}/{kernel}/"
+                                    f"{framework.name}"
+                                )
+                            if breaker.is_open(framework.name, kernel):
+                                reason = breaker.reason(framework.name, kernel)
+                                result = _skipped_result(
+                                    framework.name, kernel, graph_name, mode, reason
+                                )
+                                tel.ingest(
+                                    _skip_span(
+                                        framework.name, kernel, graph_name,
+                                        mode, reason,
+                                    )
+                                )
+                            else:
+                                attempt = 0
+                                while True:
+                                    try:
+                                        result = run_cell(
+                                            framework, kernel, case, mode, spec,
+                                            telemetry=tel, attempt=attempt,
+                                        )
+                                    except TrialTimeoutError as exc:
+                                        if strict:
+                                            raise
+                                        result = _failed_result(
+                                            framework, kernel, case, mode,
+                                            "timeout", exc,
+                                        )
+                                    except Exception as exc:
+                                        if strict:
+                                            raise
+                                        result = _failed_result(
+                                            framework, kernel, case, mode,
+                                            "error", exc,
+                                        )
+                                    if result.ok or not policy.should_retry(
+                                        result.status, result.error, attempt
+                                    ):
+                                        break
+                                    policy.sleep(attempt)
+                                    attempt += 1
+                                result.attempts = attempt + 1
+                                breaker.record(framework.name, kernel, result.ok)
+                            if journal_obj is not None:
+                                journal_obj.record(result)
+                            results.add(result)
+        campaign_meta["resilience"]["skipped_cells"] = len(results.skipped())
+        return results
+    finally:
+        if journal_obj is not None:
+            journal_obj.close()

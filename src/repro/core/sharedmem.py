@@ -97,17 +97,31 @@ class SharedCase:
             specs.append((offset, array.dtype.str, array.shape))
             offset += array.nbytes
         self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
-        for array, (start, dtype, shape) in zip(contiguous, specs):
-            destination = np.ndarray(
-                shape, dtype=np.dtype(dtype), buffer=self._shm.buf, offset=start
-            )
-            destination[...] = array
+        try:
+            self._copy_arrays(contiguous, specs)
+        except BaseException:
+            # The segment exists but no caller ever saw this object: a
+            # KeyboardInterrupt (or any failure) mid-copy would otherwise
+            # leak the /dev/shm segment until reboot.
+            self.close(unlink=True)
+            raise
         self.handle = SharedCaseHandle(
             name=case.name,
             segment=self._shm.name,
             arrays=tuple(specs),
             layout=layout,
         )
+
+    def _copy_arrays(
+        self,
+        contiguous: list[np.ndarray],
+        specs: list[tuple[int, str, tuple[int, ...]]],
+    ) -> None:
+        for array, (start, dtype, shape) in zip(contiguous, specs):
+            destination = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=self._shm.buf, offset=start
+            )
+            destination[...] = array
 
     @property
     def nbytes(self) -> int:

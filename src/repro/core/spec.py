@@ -70,6 +70,20 @@ class BenchmarkSpec:
     #: Worker processes for the campaign.  1 = serial in-process execution;
     #: >1 shards cells across a process pool over a shared-memory corpus.
     jobs: int = 1
+    #: Re-executions allowed per cell for *transient* failures (worker
+    #: crash, OOM, corruption), with deterministic exponential backoff.
+    #: Deterministic failures (verification mismatch, ValueError) and
+    #: timeouts are never retried.  See :mod:`repro.resilience.retry`.
+    retries: int = 0
+    #: Consecutive hard failures after which a (framework, kernel) combo's
+    #: remaining cells become ``skipped`` results (0 = breaker disabled).
+    #: See :mod:`repro.resilience.breaker`.
+    breaker_threshold: int = 0
+    #: Deterministic fault-injection plan for tests and chaos CI
+    #: (:class:`repro.resilience.faults.FaultSpec` tuple).  Travels to
+    #: worker processes with the spec; excluded from ``as_dict`` so fault
+    #: plans never enter run identities or resume fingerprints.
+    faults: tuple = ()
 
     def __post_init__(self) -> None:
         unknown = set(self.trials) - set(KERNELS)
@@ -83,6 +97,10 @@ class BenchmarkSpec:
             raise BenchmarkConfigError("trial_timeout must be positive (or None)")
         if self.jobs < 1:
             raise BenchmarkConfigError("jobs must be >= 1")
+        if self.retries < 0:
+            raise BenchmarkConfigError("retries must be >= 0")
+        if self.breaker_threshold < 0:
+            raise BenchmarkConfigError("breaker_threshold must be >= 0")
 
     def as_dict(self) -> dict[str, object]:
         """JSON-serializable form, used in archive manifests and results
@@ -97,6 +115,8 @@ class BenchmarkSpec:
             "verify": self.verify,
             "trial_timeout": self.trial_timeout,
             "jobs": self.jobs,
+            "retries": self.retries,
+            "breaker_threshold": self.breaker_threshold,
         }
 
     def num_trials(self, kernel: str) -> int:

@@ -172,7 +172,14 @@ class Span:
 
 
 class JsonlSink:
-    """Append-only JSONL writer over a path or an open text stream."""
+    """Append-only JSONL writer over a path or an open text stream.
+
+    Crash-safe by flushing after every record: a campaign killed mid-run
+    leaves a ``--trace`` file complete up to the last finished span
+    instead of losing a buffered tail (the same durability contract as
+    the checkpoint journal, minus the fsync — a trace is diagnostic, not
+    the source of truth for resume).
+    """
 
     def __init__(self, target: str | Path | IO[str]) -> None:
         if isinstance(target, (str, Path)):
@@ -183,8 +190,9 @@ class JsonlSink:
             self._owns_stream = False
 
     def write(self, record: dict[str, object]) -> None:
-        """Write one record as a single JSON line."""
+        """Write one record as a single JSON line, flushed immediately."""
         self._stream.write(json.dumps(record, default=str) + "\n")
+        self._stream.flush()
 
     def close(self) -> None:
         """Flush, and close the stream if this sink opened it."""

@@ -61,6 +61,24 @@ class ArchiveError(ReproError):
     or a corrupt/unreadable archive layout)."""
 
 
+class JournalError(ReproError):
+    """A checkpoint journal cannot be used (fingerprint mismatch with the
+    resuming campaign, wrong version, or corruption before the final
+    line — a torn *trailing* line is expected after a crash and handled,
+    not an error)."""
+
+
+class CampaignAborted(BaseException):
+    """The campaign was deliberately terminated (SIGTERM).
+
+    Derives from ``BaseException``, not :class:`ReproError`: fault
+    isolation converts ``Exception`` into per-cell failure records, and an
+    operator's termination request must unwind the whole campaign —
+    flushing the checkpoint journal and releasing shared memory — rather
+    than be recorded as one more broken cell.
+    """
+
+
 class UnknownFrameworkError(ReproError):
     """A framework name was requested that is not in the registry."""
 

@@ -166,7 +166,11 @@ class GraphCache:
 
     ``root`` defaults to :func:`default_cache_dir`; ``version`` defaults
     to the generators' :data:`GENERATOR_VERSION` (overridable for tests).
-    ``hits`` / ``misses`` count lookups for the scaling bench.
+    ``hits`` / ``misses`` count lookups for the scaling bench; ``corrupt``
+    counts the subset of misses where an artifact *existed* but failed
+    checksum or parse validation — the signal the resilience layer (and
+    its cache-corruption fault tests) watch to distinguish "cold cache"
+    from "something is damaging artifacts".
     """
 
     def __init__(
@@ -176,6 +180,7 @@ class GraphCache:
         self._version = version
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     @property
     def version(self) -> str:
@@ -244,9 +249,16 @@ class GraphCache:
         """Load a cached case, or None on any miss/stale/corrupt artifact."""
         path = self.path_for(name, scale, seed)
         checksum_path = self._checksum_path(path)
+        if not path.exists() and not checksum_path.exists():
+            self.misses += 1
+            return None
+        # From here on the artifact (or its sidecar) exists, so any
+        # failure is damage — a torn pair, a checksum mismatch, or an
+        # unparseable payload — and counts as corruption, not coldness.
         try:
             expected = checksum_path.read_text(encoding="ascii").strip()
             if _sha256(path) != expected:
+                self.corrupt += 1
                 self.misses += 1
                 return None
             with np.load(path, allow_pickle=False) as data:
@@ -257,6 +269,7 @@ class GraphCache:
                 ]
             views = recompose_case(meta["layout"], arrays)
         except (OSError, ValueError, KeyError, GraphFormatError, json.JSONDecodeError):
+            self.corrupt += 1
             self.misses += 1
             return None
         self.hits += 1

@@ -1,0 +1,88 @@
+"""Per-(framework, kernel) circuit breaker for benchmark campaigns.
+
+A persistently broken framework×kernel combination is the most expensive
+failure mode a campaign has: with five graphs and two modes it burns its
+full per-cell budget (all trials, possibly all timeouts, possibly all
+retries) ten times over — Pollard & Norris note that cross-framework
+comparisons routinely lose entire configurations this way.  The breaker
+caps the damage: after ``threshold`` *consecutive* hard failures
+(``error`` or ``timeout``) of one (framework, kernel) combo, it opens,
+and every remaining cell of that combo is recorded as a structured
+``skipped`` result — visible in the failure table with the reason, but
+costing zero execution time.  One success resets the count, so a combo
+that merely flakes never trips it.
+
+The breaker is scoped to (framework, kernel), not (framework, kernel,
+graph): the observed failure modes — an unimplemented kernel, a crash in
+shared kernel code — are graph-independent, while a graph-specific
+failure (one OOM on the largest input) only contributes one count and is
+reset by the next graph's success.
+
+``threshold=0`` disables the breaker entirely (the default, preserving
+pre-resilience behavior).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CircuitBreaker"]
+
+
+@dataclass
+class _ComboState:
+    consecutive: int = 0
+    open: bool = False
+
+
+@dataclass
+class CircuitBreaker:
+    """Tracks consecutive hard failures per (framework, kernel) combo."""
+
+    threshold: int = 0
+    _states: dict[tuple[str, str], _ComboState] = field(default_factory=dict)
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0
+
+    def is_open(self, framework: str, kernel: str) -> bool:
+        """True when this combo's remaining cells should be skipped."""
+        state = self._states.get((framework, kernel))
+        return state is not None and state.open
+
+    def record(self, framework: str, kernel: str, ok: bool) -> bool:
+        """Account one executed cell; returns True when this opens the combo.
+
+        Call only for cells that actually ran — skipped cells must not
+        feed back into the breaker.
+        """
+        if not self.enabled:
+            return False
+        state = self._states.setdefault((framework, kernel), _ComboState())
+        if ok:
+            state.consecutive = 0
+            return False
+        state.consecutive += 1
+        if not state.open and state.consecutive >= self.threshold:
+            state.open = True
+            return True
+        return False
+
+    def reason(self, framework: str, kernel: str) -> str:
+        """Human-readable skip reason recorded on skipped cells."""
+        return (
+            f"circuit breaker open for {framework}/{kernel}: "
+            f"{self.threshold} consecutive hard failures"
+        )
+
+    def open_combos(self) -> list[tuple[str, str]]:
+        """All (framework, kernel) combos currently open, sorted."""
+        return sorted(key for key, state in self._states.items() if state.open)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe summary for campaign metadata."""
+        return {
+            "threshold": self.threshold,
+            "open": [list(combo) for combo in self.open_combos()],
+        }

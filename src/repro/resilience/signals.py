@@ -1,0 +1,49 @@
+"""SIGTERM-to-exception translation for clean campaign shutdown.
+
+``KeyboardInterrupt`` already unwinds a campaign through its ``finally``
+blocks (flushing the journal, unlinking shared-memory segments, killing
+workers), but SIGTERM — what ``kill``, batch schedulers, and container
+runtimes send — terminates Python without unwinding anything.  Inside a
+:func:`graceful_shutdown` scope SIGTERM instead raises
+:class:`~repro.errors.CampaignAborted`, which derives from
+``BaseException`` on purpose: the runner's fault isolation catches
+``Exception`` to convert *cell* failures into structured results, and an
+operator's termination request must never be swallowed into an ``error``
+cell.
+
+SIGKILL cannot be translated; the checkpoint journal's per-cell fsync is
+the defense there.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+
+from ..errors import CampaignAborted
+
+__all__ = ["graceful_shutdown"]
+
+
+@contextlib.contextmanager
+def graceful_shutdown():
+    """Raise :class:`CampaignAborted` on SIGTERM within this scope.
+
+    A no-op off the main thread or on platforms without SIGTERM handling;
+    nests safely (the inner scope restores the outer handler).
+    """
+    if not hasattr(signal, "SIGTERM") or (
+        threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _terminate(signum, frame):
+        raise CampaignAborted("campaign terminated by SIGTERM")
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)

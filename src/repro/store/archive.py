@@ -189,6 +189,13 @@ class RunArchive:
             "failures": len(results.failures()),
             "span_count": len(span_records),
         }
+        # Resilience lineage: whether this campaign was resumed from a
+        # checkpoint journal, retried cells, or skipped combos via the
+        # circuit breaker — consumers comparing runs need to know that a
+        # resumed campaign's cells span several process lifetimes.
+        resilience = results.meta.get("resilience")
+        if isinstance(resilience, dict):
+            manifest["resilience"] = dict(resilience)
 
         # Stage the whole run directory, then rename into place: a crash
         # mid-archive leaves only a .tmp directory, never a partial run.

@@ -1,6 +1,16 @@
-"""Shared fixtures: a small test corpus and oracle helpers."""
+"""Shared fixtures: a small test corpus, oracle helpers, a test watchdog.
+
+Set ``REPRO_TEST_TIMEOUT`` (seconds) to arm a per-test ``SIGALRM``
+watchdog: any single test exceeding the budget fails with a clear
+message instead of hanging the whole suite.  This is how CI guards the
+fault-injection tests (which deliberately create hangs) without any
+third-party timeout plugin.
+"""
 
 from __future__ import annotations
+
+import os
+import signal
 
 import networkx as nx
 import numpy as np
@@ -12,6 +22,35 @@ from repro.graphs import CSRGraph, EdgeList
 
 TEST_SCALE = 9
 GRAPHS = ["road", "twitter", "web", "kron", "urand"]
+
+_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "0") or "0")
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """Per-test wall-clock watchdog, armed by ``$REPRO_TEST_TIMEOUT``.
+
+    Uses ``SIGALRM`` directly (no plugin dependency), so it is a no-op on
+    platforms without it and when the variable is unset.  Tests that
+    install their own ``SIGALRM`` handler (the trial-deadline tests) are
+    unaffected: the watchdog restores the previous handler afterwards and
+    only fires if the test is still running at the deadline.
+    """
+    if _TEST_TIMEOUT <= 0 or not hasattr(signal, "SIGALRM"):
+        return (yield)
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded REPRO_TEST_TIMEOUT={_TEST_TIMEOUT:g}s: {item.nodeid}"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session", params=GRAPHS)
