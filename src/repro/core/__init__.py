@@ -8,14 +8,18 @@ Submodules:
 * ``verify`` — per-kernel output verification oracles.
 * ``telemetry`` — span tracing, JSONL sinks, per-trial deadlines.
 * ``runner`` — executes kernels under the Baseline/Optimized rule sets.
-* ``executor`` / ``sharedmem`` — process-pool campaign execution over a
-  shared-memory corpus, with hard per-cell deadlines.
+* ``executor`` / ``pool`` / ``batching`` / ``sharedmem`` — parallel
+  campaign execution: warm process pools over a shared-memory corpus
+  (hard per-cell deadlines) or thread pools sharing the parent's
+  corpus, with batched multi-cell dispatch.
 * ``results`` / ``tables`` — result records and Table I–V renderers.
 """
 
 from . import counters
+from .batching import Cell, plan_batches
 from .bitmap import Bitmap
-from .executor import run_suite_parallel
+from .executor import run_suite_parallel, run_suite_threads
+from .pool import WorkerPool
 from .results import ResultSet, RunResult
 from .runner import GraphCase, build_case, run_cell, run_suite
 from .spec import BenchmarkSpec, SourcePicker
@@ -26,6 +30,7 @@ from .workload import FrontierTrace, sparkline, trace_bfs
 __all__ = [
     "BenchmarkSpec",
     "Bitmap",
+    "Cell",
     "FrontierTrace",
     "GraphCase",
     "JsonlSink",
@@ -35,14 +40,17 @@ __all__ = [
     "Span",
     "Telemetry",
     "TrialDeadline",
+    "WorkerPool",
     "build_case",
     "counters",
+    "plan_batches",
     "delta_sweep",
     "direction_threshold_sweep",
     "read_trace",
     "run_cell",
     "run_suite",
     "run_suite_parallel",
+    "run_suite_threads",
     "scale_sweep",
     "sparkline",
     "trace_bfs",

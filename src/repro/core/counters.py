@@ -20,6 +20,7 @@ When no counter set is active, reporting is a cheap no-op.
 from __future__ import annotations
 
 import contextlib
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -49,45 +50,61 @@ class WorkCounters:
         self.extras[key] = self.extras.get(key, 0.0) + value
 
 
-_active: list[WorkCounters] = []
+# The active stack is thread-local: the thread-pool executor runs cells
+# on concurrent threads, and each trial's counters must accumulate into
+# that trial's set only — a shared stack would interleave them.
+_local = threading.local()
+
+
+def _stack() -> list[WorkCounters]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
 
 
 @contextlib.contextmanager
 def counting() -> Iterator[WorkCounters]:
     """Activate a fresh counter set for the duration of the block."""
     counters = WorkCounters()
-    _active.append(counters)
+    stack = _stack()
+    stack.append(counters)
     try:
         yield counters
     finally:
-        _active.pop()
+        stack.pop()
 
 
 def add_edges(count: int) -> None:
     """Report edges examined by the running kernel."""
-    if _active:
-        _active[-1].edges_examined += int(count)
+    stack = _stack()
+    if stack:
+        stack[-1].edges_examined += int(count)
 
 
 def add_vertices(count: int) -> None:
     """Report vertices touched by the running kernel."""
-    if _active:
-        _active[-1].vertices_touched += int(count)
+    stack = _stack()
+    if stack:
+        stack[-1].vertices_touched += int(count)
 
 
 def add_round() -> None:
     """Report one synchronization round (frontier step, bucket, ...)."""
-    if _active:
-        _active[-1].rounds += 1
+    stack = _stack()
+    if stack:
+        stack[-1].rounds += 1
 
 
 def add_iteration() -> None:
     """Report one full-sweep iteration (PR iteration, SV pass, ...)."""
-    if _active:
-        _active[-1].iterations += 1
+    stack = _stack()
+    if stack:
+        stack[-1].iterations += 1
 
 
 def note(key: str, value: float = 1.0) -> None:
     """Accumulate a named metric (e.g. 'direction_switches')."""
-    if _active:
-        _active[-1].note(key, value)
+    stack = _stack()
+    if stack:
+        stack[-1].note(key, value)

@@ -1,53 +1,63 @@
-"""Process-pool campaign executor: shards cells across worker processes.
+"""Parallel campaign executors: warm process pools and thread pools.
 
 ``run_suite`` executes the paper's 6×6×5×2 campaign serially in one
 process; at that point campaign wall time, not kernel time, bounds how
 fast the reproduction can iterate.  This module shards the independent
-(framework, kernel, graph, mode) cells across a pool of worker processes:
+(framework, kernel, graph, mode) cells across a pool of workers.  Two
+pool flavors share one scheduling core:
 
-* the graph corpus is built **once** per graph in the parent (optionally
-  through the persistent :class:`~repro.graphs.cache.GraphCache`) and
-  published to workers via :mod:`repro.core.sharedmem` — workers attach
-  zero-copy read-only views, so memory stays one corpus regardless of
-  worker count and no CSR array is ever pickled;
-* workers stream ``start`` / ``done`` messages (results plus telemetry
-  span records) back over a queue; the parent merges spans into the one
-  :class:`~repro.core.telemetry.Telemetry` collector and assembles the
-  :class:`~repro.core.results.ResultSet` in canonical cell order, so the
-  output is byte-for-byte independent of completion order;
-* process isolation turns ``BenchmarkSpec.trial_timeout`` into a **hard**
-  deadline: the in-worker ``SIGALRM`` deadline still catches interruptible
-  overruns cheaply, but a worker stuck inside one long C call — which no
-  in-process mechanism can stop (see ``TrialDeadline``) — is killed by the
-  parent once the cell exceeds its trial budgets, the cell is recorded as
-  a ``timeout`` result, and a replacement worker keeps the campaign going.
+* ``run_suite_parallel`` — **process pool** (:class:`~repro.core.pool.
+  WorkerPool`).  Workers are *warm*: spawned once per pool, reusable
+  across campaigns via a pool handle, configured per campaign by
+  message, attaching the shared-memory corpus lazily
+  (:mod:`repro.core.sharedmem`) and unpickling frameworks on first use.
+  Process isolation turns ``BenchmarkSpec.trial_timeout`` into a
+  **hard** deadline: a worker stuck inside one long C call is killed by
+  the parent once its cell exceeds its trial budgets, the cell is
+  recorded as a ``timeout`` result, and a respawned worker keeps the
+  campaign going.
+* ``run_suite_threads`` — **thread pool** (``spec.pool == "threads"``).
+  Worker threads share the parent's address space, so the corpus is
+  never published, pickled, or attached at all — the cheapest possible
+  dispatch for GIL-releasing NumPy kernels.  The trade is isolation:
+  threads cannot be killed, so deadlines degrade to the serial soft
+  semantics (post-hoc detection off the main thread) and an injected
+  process crash takes the whole campaign with it.
+
+Dispatch is **batched** (:mod:`repro.core.batching`): the parent hands a
+worker a contiguous run of cells per message, sized by a trial-count
+cost model, so queue/pickle/wakeup overhead is paid per batch while
+everything observable stays per-cell — workers echo ``start`` and
+``cell`` messages per member, telemetry spans are per cell, the journal
+records cells individually, and retry/breaker decisions act on cells.
+Timeout-sensitive cells are planned as singleton batches so the hard
+kill can never destroy a sibling queued behind a hung cell.
 
 Every cell still runs the exact serial measurement protocol
 (:func:`~repro.core.runner.run_cell`): sources, counters, verification,
 and statuses are identical to ``jobs=1`` — only wall-clock parallelism
-and the kill guarantee differ.  ``tests/test_executor.py`` pins that
-equivalence.
+and the kill guarantee differ.  ``tests/test_executor_matrix.py`` pins
+that equivalence across serial, per-cell process, batched process, and
+thread execution.
 
-Dispatch is **parent-driven**: instead of pre-queuing the whole campaign,
-the parent hands out one ``(cell, attempt)`` task per free worker slot.
-That is what lets the resilience layer act mid-campaign — a transiently
-failed cell is re-dispatched after its deterministic backoff
-(``spec.retries``), a cell whose worker died twice (a crash loop) falls
-back to in-parent serial execution over the parent's own shared segment,
-an open circuit breaker converts still-queued cells of the broken
-(framework, kernel) combo into ``skipped`` results at zero cost, and
-every finalized cell is durably appended to the checkpoint journal the
-moment it completes.
+Dispatch is **parent-driven**: instead of pre-queuing the whole
+campaign, the parent hands out one batch per free worker slot and keeps
+its own record of every assignment.  That is what lets the resilience
+layer act mid-campaign: a worker that dies mid-batch loses only the
+in-flight cell (the rest of its batch is re-dispatched), a transiently
+failed cell re-enters the queue after its deterministic backoff, a cell
+whose worker died twice falls back to in-parent execution, an open
+circuit breaker prunes its combo's cells out of still-queued batches as
+``skipped`` results, and every finalized cell is durably appended to
+the checkpoint journal the moment it completes.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import queue as queue_mod
-import signal
+import threading
 import time
 from collections import deque
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 from ..errors import CellFailedError, TrialTimeoutError
@@ -55,16 +65,22 @@ from ..frameworks.base import KERNELS, Framework, Mode
 from ..graphs.cache import GraphCache
 from ..resilience.breaker import CircuitBreaker
 from ..resilience.retry import RetryPolicy
+from .batching import Cell, plan_batches
+from .pool import WorkerPool
 from .results import ResultSet, RunResult
 from .runner import _failed_result, _skip_span, _skipped_result, build_case, run_cell
-from .sharedmem import SharedCase, SharedCaseHandle, attach_case
+from .sharedmem import SharedCase, attach_case
 from .spec import BenchmarkSpec
 from .telemetry import STATUS_ERROR, STATUS_TIMEOUT, Span, Telemetry
 
 if TYPE_CHECKING:  # layering: the journal lives above repro.core
     from ..resilience.journal import CheckpointJournal
 
-__all__ = ["run_suite_parallel", "DEFAULT_KILL_GRACE_SECONDS"]
+__all__ = [
+    "run_suite_parallel",
+    "run_suite_threads",
+    "DEFAULT_KILL_GRACE_SECONDS",
+]
 
 #: Supervisor poll interval while waiting for worker messages.
 _POLL_SECONDS = 0.05
@@ -73,20 +89,9 @@ _POLL_SECONDS = 0.05
 #: parent hard-kills the worker (covers prepare/verify and IPC latency).
 DEFAULT_KILL_GRACE_SECONDS = 2.0
 
-
-@dataclass(frozen=True)
-class _Cell:
-    """One schedulable unit: a (graph, mode, kernel, framework) cell."""
-
-    index: int
-    graph: str
-    mode: Mode
-    kernel: str
-    framework: str
-
-    @property
-    def label(self) -> str:
-        return f"{self.mode.value}/{self.graph}/{self.kernel}/{self.framework}"
+#: One assigned batch: the (cell, attempt) pairs a worker has not yet
+#: reported back, in execution order — the head is the in-flight cell.
+_Assignment = "deque[tuple[Cell, int]]"
 
 
 def _cell_budget(spec: BenchmarkSpec, kernel: str, grace: float) -> float:
@@ -94,59 +99,25 @@ def _cell_budget(spec: BenchmarkSpec, kernel: str, grace: float) -> float:
     return spec.trial_timeout * spec.num_trials(kernel) + grace
 
 
-def _worker_main(
-    slot: int,
-    tasks,
-    results,
-    spec: BenchmarkSpec,
-    handles: Mapping[str, SharedCaseHandle],
-    frameworks: Mapping[str, Framework],
-    track_memory: bool,
-) -> None:
-    """Worker loop: attach the shared corpus, then drain cells until sentinel.
-
-    Runs on the worker's main thread, so ``run_cell``'s in-process SIGALRM
-    deadline is armed and catches interruptible overruns without costing a
-    process kill; the parent's hard kill is the backstop for the rest.
-    """
-    if hasattr(signal, "SIGTERM"):
-        # Undo any graceful_shutdown handler inherited over fork: a worker
-        # the parent terminates should just die, not raise CampaignAborted.
-        signal.signal(signal.SIGTERM, signal.SIG_DFL)
-    attached = {name: attach_case(handle) for name, handle in handles.items()}
-    telemetry = Telemetry(track_memory=track_memory)
-    try:
-        while True:
-            task = tasks.get()
-            if task is None:
-                results.put(("exit", slot))
-                return
-            cell, attempt = task
-            results.put(("start", slot, cell.index, attempt))
-            case = attached[cell.graph].case
-            framework = frameworks[cell.framework]
-            try:
-                result = run_cell(
-                    framework, cell.kernel, case, cell.mode, spec,
-                    telemetry=telemetry, attempt=attempt,
-                )
-            except TrialTimeoutError as exc:
-                result = _failed_result(
-                    framework, cell.kernel, case, cell.mode, "timeout", exc
-                )
-            except Exception as exc:
-                result = _failed_result(
-                    framework, cell.kernel, case, cell.mode, "error", exc
-                )
-            spans = [span.as_dict() for span in telemetry.spans]
-            telemetry.spans.clear()
-            results.put(("done", slot, cell.index, attempt, result, spans))
-    finally:
-        for attachment in attached.values():
-            attachment.close()
+def _enumerate_cells(
+    framework_list: list[Framework],
+    graph_names: list[str],
+    modes: list[Mode],
+    kernels: list[str],
+) -> list[Cell]:
+    """The campaign grid in canonical cell order (graph→mode→kernel→fw)."""
+    cells: list[Cell] = []
+    for graph_name in graph_names:
+        for mode in modes:
+            for kernel in kernels:
+                for framework in framework_list:
+                    cells.append(
+                        Cell(len(cells), graph_name, mode, kernel, framework.name)
+                    )
+    return cells
 
 
-def _killed_cell_span(cell: _Cell, status: str, message: str, wall: float) -> Span:
+def _killed_cell_span(cell: Cell, status: str, message: str, wall: float) -> Span:
     """Parent-side span for a cell whose worker never reported back."""
     span = Span(
         name="cell",
@@ -167,6 +138,157 @@ def _killed_cell_span(cell: _Cell, status: str, message: str, wall: float) -> Sp
     return span
 
 
+class _CampaignState:
+    """Per-cell accounting shared by the process- and thread-pool paths.
+
+    Owns the pieces that must behave identically regardless of transport:
+    canonical result assembly, the pending batch queue, retry scheduling,
+    circuit-breaker skips (including pruning queued batches), journal
+    appends, and strict-mode fail-fast.
+    """
+
+    def __init__(
+        self,
+        cells: list[Cell],
+        spec: BenchmarkSpec,
+        tel: Telemetry,
+        journal: "CheckpointJournal | None",
+        strict: bool,
+        completed: Mapping[tuple[str, str, str, str], RunResult] | None,
+    ) -> None:
+        self.cells = cells
+        self.spec = spec
+        self.tel = tel
+        self.journal = journal
+        self.strict = strict
+        self.policy = RetryPolicy(retries=spec.retries)
+        self.breaker = CircuitBreaker(spec.breaker_threshold)
+        self.results_by_index: dict[int, RunResult] = {}
+        completed = dict(completed or {})
+        for cell in cells:
+            key = (cell.graph, cell.mode.value, cell.kernel, cell.framework)
+            if key in completed:
+                self.results_by_index[cell.index] = completed[key]
+        self.completed_count = len(self.results_by_index)
+        #: Batches ready to hand to a worker, in canonical order; retries
+        #: rejoin here (as singleton batches) once their backoff elapses.
+        self.pending: deque[list[tuple[Cell, int]]] = deque()
+        #: Retries waiting out their backoff: (ready_at, cell, attempt).
+        self.retry_waiting: list[tuple[float, Cell, int]] = []
+        #: (index, attempt) pairs already settled, so a kill racing a late
+        #: "cell" message for the same attempt cannot account a cell twice.
+        self.accounted: set[tuple[int, int]] = set()
+
+    @property
+    def total(self) -> int:
+        return len(self.cells)
+
+    @property
+    def done(self) -> bool:
+        return self.completed_count >= self.total
+
+    def runnable(self) -> list[Cell]:
+        return [c for c in self.cells if c.index not in self.results_by_index]
+
+    def queue_batches(self, batches: Iterable[list[Cell]]) -> None:
+        for batch in batches:
+            self.pending.append([(cell, 0) for cell in batch])
+
+    def record_skip(self, cell: Cell) -> None:
+        """Account a cell the open circuit breaker short-circuited."""
+        reason = self.breaker.reason(cell.framework, cell.kernel)
+        result = _skipped_result(
+            cell.framework, cell.kernel, cell.graph, cell.mode, reason
+        )
+        self.results_by_index[cell.index] = result
+        self.completed_count += 1
+        self.tel.ingest(
+            _skip_span(cell.framework, cell.kernel, cell.graph, cell.mode, reason)
+        )
+        if self.journal is not None:
+            self.journal.record(result)
+
+    def prune_open_batches(self) -> None:
+        """Strip newly opened combos out of still-queued batches.
+
+        Batch members are pruned *individually*: surviving cells of a
+        batch stay batched, and a batch emptied entirely is dropped.
+        """
+        kept: deque[list[tuple[Cell, int]]] = deque()
+        for batch in self.pending:
+            surviving = []
+            for cell, attempt in batch:
+                if self.breaker.is_open(cell.framework, cell.kernel):
+                    self.record_skip(cell)
+                else:
+                    surviving.append((cell, attempt))
+            if surviving:
+                kept.append(surviving)
+        self.pending = kept
+
+    def finalize(self, cell: Cell, result: RunResult, attempt: int) -> None:
+        """Commit a cell's final result: journal, breaker, strict check.
+
+        Strict mode raises *before* committing anything, matching the
+        serial path: the failing cell is never journaled, so a resumed
+        campaign re-executes it instead of restoring the failure.
+        """
+        if self.strict and not result.ok:
+            if result.status == STATUS_TIMEOUT:
+                raise TrialTimeoutError(f"cell {cell.label}: {result.error}")
+            raise CellFailedError(f"cell {cell.label} failed: {result.error}")
+        result.attempts = attempt + 1
+        self.results_by_index[cell.index] = result
+        self.completed_count += 1
+        opened = self.breaker.record(cell.framework, cell.kernel, result.ok)
+        if self.journal is not None:
+            self.journal.record(result)
+        if opened:
+            self.prune_open_batches()
+
+    def settle(self, cell: Cell, result: RunResult, attempt: int) -> None:
+        """Route one executed attempt: finalize it or schedule a retry."""
+        if result.ok or not self.policy.should_retry(
+            result.status, result.error, attempt
+        ):
+            self.finalize(cell, result, attempt)
+            return
+        self.retry_waiting.append(
+            (time.monotonic() + self.policy.backoff_seconds(attempt), cell, attempt + 1)
+        )
+
+    def next_batch(self) -> list[tuple[Cell, int]] | None:
+        """Pop the next dispatchable batch, skipping open-breaker cells."""
+        while self.pending:
+            batch = self.pending.popleft()
+            surviving = []
+            for cell, attempt in batch:
+                if self.breaker.is_open(cell.framework, cell.kernel):
+                    self.record_skip(cell)
+                else:
+                    surviving.append((cell, attempt))
+            if surviving:
+                return surviving
+        return None
+
+    def due_retries(self, now: float) -> list[tuple[Cell, int]]:
+        """Pop retries whose backoff has elapsed (breaker-skips applied)."""
+        due = []
+        for entry in [e for e in self.retry_waiting if e[0] <= now]:
+            self.retry_waiting.remove(entry)
+            _, cell, attempt = entry
+            if self.breaker.is_open(cell.framework, cell.kernel):
+                self.record_skip(cell)
+            else:
+                due.append((cell, attempt))
+        return due
+
+    def result_set(self) -> ResultSet:
+        return ResultSet(
+            [self.results_by_index[index] for index in range(self.total)]
+        )
+
+
 def run_suite_parallel(
     frameworks: Iterable[Framework],
     graph_names: Iterable[str],
@@ -181,160 +303,73 @@ def run_suite_parallel(
     kill_grace: float = DEFAULT_KILL_GRACE_SECONDS,
     journal: "CheckpointJournal | None" = None,
     completed: Mapping[tuple[str, str, str, str], RunResult] | None = None,
+    pool: WorkerPool | None = None,
 ) -> ResultSet:
     """Run a campaign over a process pool; see the module docstring.
 
     Prefer calling ``run_suite(..., jobs=N)``, which dispatches here; this
     entry point additionally exposes ``kill_grace`` (headroom past a
-    cell's trial budgets before the hard kill) for tests and benches.
-    ``journal`` receives every finalized cell; ``completed`` (cell key →
-    result, from a resumed journal) pre-fills those cells — they are
-    neither re-executed nor re-journaled, and their graphs are not even
-    exported if no other cell needs them.
+    cell's trial budgets before the hard kill) and ``pool`` — a warm
+    :class:`~repro.core.pool.WorkerPool` to reuse across campaigns (the
+    caller keeps ownership; without one, a pool is created and shut down
+    within this call).  ``journal`` receives every finalized cell;
+    ``completed`` (cell key → result, from a resumed journal) pre-fills
+    those cells — they are neither re-executed nor re-journaled, and
+    their graphs are not even exported if no other cell needs them.
     """
     spec = spec or BenchmarkSpec()
     tel = telemetry if telemetry is not None else Telemetry()
     framework_list = list(frameworks)
     frameworks_by_name = {fw.name: fw for fw in framework_list}
-    graph_names = list(graph_names)
-    kernels = list(kernels)
-    modes = list(modes)
-    completed = dict(completed or {})
-    policy = RetryPolicy(retries=spec.retries)
-    breaker = CircuitBreaker(spec.breaker_threshold)
-
-    cells: list[_Cell] = []
-    for graph_name in graph_names:
-        for mode in modes:
-            for kernel in kernels:
-                for framework in framework_list:
-                    cells.append(
-                        _Cell(len(cells), graph_name, mode, kernel, framework.name)
-                    )
+    cells = _enumerate_cells(
+        framework_list, list(graph_names), list(modes), list(kernels)
+    )
     if not cells:
         return ResultSet()
 
-    results_by_index: dict[int, RunResult] = {}
-    for cell in cells:
-        key = (cell.graph, cell.mode.value, cell.kernel, cell.framework)
-        if key in completed:
-            results_by_index[cell.index] = completed[key]
-    total = len(cells)
-    if len(results_by_index) == total:
-        return ResultSet([results_by_index[index] for index in range(total)])
-
-    runnable = [cell for cell in cells if cell.index not in results_by_index]
+    state = _CampaignState(cells, spec, tel, journal, strict, completed)
+    if state.done:
+        return state.result_set()
+    runnable = state.runnable()
     needed_graphs = {cell.graph for cell in runnable}
-    jobs = max(1, min(int(jobs), len(runnable)))
 
-    # fork shares the already-imported interpreter state and is cheap;
-    # spawn is the portable fallback (frameworks/spec pickle either way).
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-    result_queue = ctx.Queue()
-    retired_queues: list[object] = []
+    own_pool = pool is None
+    worker_count = (
+        max(1, min(int(jobs), len(runnable))) if own_pool else pool.jobs
+    )
+    state.queue_batches(plan_batches(runnable, spec, worker_count, spec.batch_size))
 
     shared: dict[str, SharedCase] = {}
-    workers: dict[int, dict[str, object]] = {}
-
-    #: Tasks ready to hand to a worker, in canonical order; retries rejoin
-    #: here once their backoff elapses.
-    pending: deque[tuple[_Cell, int]] = deque((cell, 0) for cell in runnable)
-    #: Retries waiting out their deterministic backoff: (ready_at, cell, attempt).
-    retry_waiting: list[tuple[float, _Cell, int]] = []
+    #: Slot → the batch tail the worker has not reported back yet.
+    assigned: dict[int, deque[tuple[Cell, int]]] = {}
+    started: dict[int, float] = {}
+    deadline: dict[int, float | None] = {}
     #: Worker deaths per cell index — two means crash loop, fall back in-parent.
     deaths: dict[int, int] = {}
-    #: (index, attempt) pairs already settled, so a kill racing a late
-    #: "done" message for the same attempt cannot account a cell twice.
-    accounted: set[tuple[int, int]] = set()
-    completed_count = len(results_by_index)
+    clean_exit = False
 
-    def spawn(slot: int) -> None:
-        """Start (or replace) the worker in one slot.
-
-        Dispatch is slot-addressed — each worker drains its own task
-        queue, and the parent records an assignment the moment it puts the
-        task, *before* the worker echoes "start".  A worker that dies the
-        instant it picks a task up therefore can never lose the task: the
-        parent's own bookkeeping, not a message that may still be in
-        flight, says what the slot was running.  A replacement gets a
-        fresh queue so it cannot consume a task already accounted as lost.
-        """
-        if slot in workers:
-            retired_queues.append(workers[slot]["queue"])
-        tasks = ctx.Queue()
-        process = ctx.Process(
-            target=_worker_main,
-            args=(
-                slot,
-                tasks,
-                result_queue,
-                spec,
-                {name: sc.handle for name, sc in shared.items()},
-                frameworks_by_name,
-                tel.track_memory,
-            ),
-            daemon=True,
-        )
-        process.start()
-        workers[slot] = {
-            "process": process,
-            "queue": tasks,
-            "cell": None,
-            "attempt": 0,
-            "deadline": None,
-            "started": 0.0,
-            "exited": False,
-        }
-
-    def record_skip(cell: _Cell) -> None:
-        """Account a cell the open circuit breaker short-circuited."""
-        nonlocal completed_count
-        reason = breaker.reason(cell.framework, cell.kernel)
-        result = _skipped_result(
-            cell.framework, cell.kernel, cell.graph, cell.mode, reason
-        )
-        results_by_index[cell.index] = result
-        completed_count += 1
-        tel.ingest(
-            _skip_span(cell.framework, cell.kernel, cell.graph, cell.mode, reason)
-        )
-        if journal is not None:
-            journal.record(result)
-
-    def prune_open_combos() -> None:
-        """Convert still-queued cells of newly opened combos into skips."""
-        for task in list(pending):
-            if breaker.is_open(task[0].framework, task[0].kernel):
-                pending.remove(task)
-                record_skip(task[0])
-
-    def finalize(cell: _Cell, result: RunResult, attempt: int) -> None:
-        """Commit a cell's final result: journal, breaker, strict check."""
-        nonlocal completed_count
-        result.attempts = attempt + 1
-        results_by_index[cell.index] = result
-        completed_count += 1
-        opened = breaker.record(cell.framework, cell.kernel, result.ok)
-        if journal is not None:
-            journal.record(result)
-        if opened:
-            prune_open_combos()
-        if strict and not result.ok:
-            if result.status == STATUS_TIMEOUT:
-                raise TrialTimeoutError(f"cell {cell.label}: {result.error}")
-            raise CellFailedError(f"cell {cell.label} failed: {result.error}")
-
-    def settle(cell: _Cell, result: RunResult, attempt: int) -> None:
-        """Route one executed attempt: finalize it or schedule a retry."""
-        if result.ok or not policy.should_retry(result.status, result.error, attempt):
-            finalize(cell, result, attempt)
-            return
-        retry_waiting.append(
-            (time.monotonic() + policy.backoff_seconds(attempt), cell, attempt + 1)
+    def batch_deadline(batch: Iterable[tuple[Cell, int]], now: float) -> float | None:
+        if spec.trial_timeout is None:
+            return None
+        return now + sum(
+            _cell_budget(spec, cell.kernel, kill_grace) for cell, _ in batch
         )
 
-    def run_in_parent(cell: _Cell, attempt: int) -> float:
+    def dispatch() -> None:
+        """Assign pending batches to idle live workers, slot by slot."""
+        for slot in assigned:
+            if assigned[slot] or not pool.is_alive(slot):
+                continue
+            batch = state.next_batch()
+            if batch is None:
+                return
+            now = time.monotonic()
+            assigned[slot] = deque(batch)
+            started[slot] = now
+            deadline[slot] = batch_deadline(batch, now)
+            pool.submit(slot, batch)
+
+    def run_in_parent(cell: Cell, attempt: int) -> float:
         """Crash-loop fallback: execute the cell in this process.
 
         Two dead workers in a row for one cell means dispatching a third
@@ -365,125 +400,96 @@ def run_suite_parallel(
                 )
         finally:
             attachment.close()
-        settle(cell, result, attempt)
+        state.settle(cell, result, attempt)
         return time.monotonic() - begun
-
-    def next_task() -> tuple[_Cell, int] | None:
-        """Pop the next dispatchable task, skipping open-breaker cells."""
-        while pending:
-            cell, attempt = pending.popleft()
-            if breaker.is_open(cell.framework, cell.kernel):
-                record_skip(cell)
-                continue
-            return cell, attempt
-        return None
-
-    def dispatch() -> None:
-        """Assign pending tasks to idle live workers, slot by slot."""
-        for state in workers.values():
-            if (
-                state["cell"] is not None
-                or state["exited"]
-                or not state["process"].is_alive()
-            ):
-                continue
-            task = next_task()
-            if task is None:
-                return
-            cell, attempt = task
-            state["cell"] = cell
-            state["attempt"] = attempt
-            state["started"] = time.monotonic()
-            state["deadline"] = (
-                state["started"] + _cell_budget(spec, cell.kernel, kill_grace)
-                if spec.trial_timeout is not None
-                else None
-            )
-            state["queue"].put(task)
 
     try:
         # Build the still-needed corpus once (cache-aware) and publish it.
-        for graph_name in graph_names:
-            if graph_name in needed_graphs:
-                shared[graph_name] = SharedCase(build_case(graph_name, spec, cache))
+        for graph_name in needed_graphs:
+            shared[graph_name] = SharedCase(build_case(graph_name, spec, cache))
 
-        for slot in range(jobs):
-            spawn(slot)
+        if own_pool:
+            pool = WorkerPool(worker_count)
+        pool.begin_campaign(
+            spec,
+            {name: sc.handle for name, sc in shared.items()},
+            frameworks_by_name,
+            tel.track_memory,
+        )
+        for slot in range(pool.jobs):
+            assigned[slot] = deque()
+            started[slot] = 0.0
+            deadline[slot] = None
         dispatch()
 
-        while completed_count < total:
+        while not state.done:
             # Drain every queued message before supervising deadlines, so
-            # a "done" that arrived while the parent was busy (e.g. an
+            # a "cell" that arrived while the parent was busy (e.g. an
             # in-parent fallback run) is never mistaken for an overrun.
             messages = []
-            try:
-                messages.append(result_queue.get(timeout=_POLL_SECONDS))
-            except queue_mod.Empty:
-                pass
-            while True:
-                try:
-                    messages.append(result_queue.get_nowait())
-                except queue_mod.Empty:
-                    break
+            message = pool.get(timeout=_POLL_SECONDS)
+            if message is not None:
+                messages.append(message)
+                while True:
+                    message = pool.get_nowait()
+                    if message is None:
+                        break
+                    messages.append(message)
 
             for message in messages:
                 kind = message[0]
                 if kind == "start":
                     # The assignment is already recorded (dispatch did it);
                     # the echo just restarts the deadline clock so queue
-                    # latency never eats into a cell's kill budget.
+                    # latency and batch predecessors never eat into a
+                    # cell's kill budget.
                     _, slot, index, attempt = message
-                    state = workers[slot]
-                    if state["cell"] is not None and state["cell"].index == index:
-                        state["started"] = time.monotonic()
-                        if state["deadline"] is not None:
-                            state["deadline"] = state["started"] + _cell_budget(
+                    batch = assigned.get(slot)
+                    if batch and batch[0][0].index == index:
+                        now = time.monotonic()
+                        started[slot] = now
+                        if spec.trial_timeout is not None:
+                            deadline[slot] = now + _cell_budget(
                                 spec, cells[index].kernel, kill_grace
                             )
                     if progress is not None:
                         progress(cells[index].label)
-                elif kind == "done":
+                elif kind == "cell":
                     _, slot, index, attempt, result, span_records = message
-                    state = workers[slot]
-                    if state["cell"] is not None and state["cell"].index == index:
-                        state["cell"] = None
-                        state["deadline"] = None
-                    if (index, attempt) in accounted:
+                    batch = assigned.get(slot)
+                    if batch and batch[0][0].index == index:
+                        batch.popleft()
+                        now = time.monotonic()
+                        started[slot] = now
+                        deadline[slot] = (
+                            batch_deadline(batch, now) if batch else None
+                        )
+                    if (index, attempt) in state.accounted:
                         # Raced with a hard kill that already accounted it.
                         continue
-                    accounted.add((index, attempt))
+                    state.accounted.add((index, attempt))
                     for record in span_records:
                         tel.ingest(Span.from_dict(record))
-                    settle(cells[index], result, attempt)
-                elif kind == "exit":
-                    workers[message[1]]["exited"] = True
+                    state.settle(cells[index], result, attempt)
+                # "exit" messages only occur during shutdown; ignore here.
 
             now = time.monotonic()
-            for slot in list(workers):
-                state = workers[slot]
-                process = state["process"]
-                cell = state["cell"]
-                if cell is None:
-                    # A worker that died between cells (or failed to start)
-                    # is replaced so dispatch keeps flowing; exit code 0
-                    # means its "exit" message is simply still in flight.
-                    if not process.is_alive() and not state["exited"]:
-                        if process.exitcode == 0:
-                            state["exited"] = True
-                        elif completed_count < total:
-                            spawn(slot)
+            for slot in list(assigned):
+                batch = assigned[slot]
+                alive = pool.is_alive(slot)
+                if not batch:
+                    # A worker that died while idle is replaced so dispatch
+                    # keeps flowing.
+                    if not alive and not state.done:
+                        pool.respawn(slot)
                     continue
-                overdue = state["deadline"] is not None and now > state["deadline"]
-                died = not process.is_alive()
-                if not overdue and not died:
+                overdue = deadline[slot] is not None and now > deadline[slot]
+                if not overdue and alive:
                     continue
-                if overdue and process.is_alive():
-                    process.terminate()
-                    process.join(1.0)
-                    if process.is_alive():  # pragma: no cover - SIGTERM blocked
-                        process.kill()
-                        process.join(1.0)
+                died = not alive
+                if overdue and alive:
                     status = STATUS_TIMEOUT
+                    cell = batch[0][0]
                     message_text = (
                         f"hard deadline: cell exceeded "
                         f"{_cell_budget(spec, cell.kernel, kill_grace):.6g}s "
@@ -495,20 +501,25 @@ def run_suite_parallel(
                     status = STATUS_ERROR
                     message_text = (
                         f"worker process died mid-cell "
-                        f"(exit code {process.exitcode})"
+                        f"(exit code {pool.exitcode(slot)})"
                     )
-                attempt = state["attempt"]
-                state["cell"] = None
-                state["deadline"] = None
-                if (cell.index, attempt) not in accounted:
-                    accounted.add((cell.index, attempt))
+                # Only the in-flight head is lost; the rest of the batch
+                # was never started and is re-dispatched untouched.
+                head_cell, head_attempt = batch.popleft()
+                tail = list(batch)
+                assigned[slot] = deque()
+                deadline[slot] = None
+                if tail:
+                    state.pending.appendleft(tail)
+                if (head_cell.index, head_attempt) not in state.accounted:
+                    state.accounted.add((head_cell.index, head_attempt))
                     if died:
-                        deaths[cell.index] = deaths.get(cell.index, 0) + 1
+                        deaths[head_cell.index] = deaths.get(head_cell.index, 0) + 1
                     lost = RunResult(
-                        framework=cell.framework,
-                        kernel=cell.kernel,
-                        graph=cell.graph,
-                        mode=cell.mode,
+                        framework=head_cell.framework,
+                        kernel=head_cell.kernel,
+                        graph=head_cell.graph,
+                        mode=head_cell.mode,
                         trial_seconds=[],
                         verified=False,
                         status=status,
@@ -516,50 +527,196 @@ def run_suite_parallel(
                     )
                     tel.ingest(
                         _killed_cell_span(
-                            cell, status, message_text, now - state["started"]
+                            head_cell, status, message_text, now - started[slot]
                         )
                     )
-                    settle(cell, lost, attempt)
-                if completed_count < total:
-                    spawn(slot)
+                    state.settle(head_cell, lost, head_attempt)
+                if not state.done:
+                    pool.respawn(slot)
 
             # Release retries whose deterministic backoff has elapsed.
-            now = time.monotonic()
-            for entry in [e for e in retry_waiting if e[0] <= now]:
-                retry_waiting.remove(entry)
-                _, cell, attempt = entry
-                if breaker.is_open(cell.framework, cell.kernel):
-                    record_skip(cell)
-                elif deaths.get(cell.index, 0) >= 2:
+            for cell, attempt in state.due_retries(time.monotonic()):
+                if deaths.get(cell.index, 0) >= 2:
                     inline_elapsed = run_in_parent(cell, attempt)
-                    for state in workers.values():
-                        if state["deadline"] is not None:
-                            state["deadline"] += inline_elapsed
+                    for slot in deadline:
+                        if deadline[slot] is not None:
+                            deadline[slot] += inline_elapsed
                 else:
-                    pending.append((cell, attempt))
+                    state.pending.append([(cell, attempt)])
 
             dispatch()
 
-        # Campaign complete: send sentinels, let workers drain and exit.
-        for state in workers.values():
-            state["queue"].put(None)
-        for state in workers.values():
-            process = state["process"]
-            process.join(5.0)
-            if process.is_alive():  # pragma: no cover - defensive
-                process.terminate()
-                process.join(1.0)
+        clean_exit = True
     finally:
-        for state in workers.values():
-            process = state["process"]
-            if process.is_alive():
-                process.terminate()
-                process.join(1.0)
-        queues = [state["queue"] for state in workers.values()]
-        for q in [result_queue, *queues, *retired_queues]:
-            q.close()
-            q.cancel_join_thread()
+        if own_pool:
+            if pool is not None:
+                pool.shutdown()
+        elif pool is not None and (not clean_exit or any(assigned.values())):
+            # The caller's warm pool survives an aborted campaign, but its
+            # workers may be mid-cell: replace them so the next campaign
+            # starts clean (stale messages are stamp-filtered).
+            pool.reset()
         for shared_case in shared.values():
             shared_case.close(unlink=True)
 
-    return ResultSet([results_by_index[index] for index in range(total)])
+    return state.result_set()
+
+
+def _thread_worker(
+    slot: int,
+    tasks: "queue_mod.Queue",
+    results: "queue_mod.Queue",
+    spec: BenchmarkSpec,
+    cases: Mapping[str, object],
+    frameworks: Mapping[str, Framework],
+    track_memory: bool,
+) -> None:
+    """Thread-pool worker loop: drain batches until the sentinel.
+
+    Runs off the main thread, so per-trial deadlines degrade to the soft
+    post-hoc check (see :class:`~repro.core.telemetry.TrialDeadline`) —
+    an over-budget trial is still recorded as a timeout, it just cannot
+    be interrupted mid-flight.
+    """
+    telemetry = Telemetry(track_memory=track_memory)
+    while True:
+        batch = tasks.get()
+        if batch is None:
+            return
+        for cell, attempt in batch:
+            results.put(("start", slot, cell.index, attempt))
+            framework = frameworks[cell.framework]
+            case = cases[cell.graph]
+            try:
+                result = run_cell(
+                    framework, cell.kernel, case, cell.mode, spec,
+                    telemetry=telemetry, attempt=attempt,
+                )
+            except TrialTimeoutError as exc:
+                result = _failed_result(
+                    framework, cell.kernel, case, cell.mode, "timeout", exc
+                )
+            except Exception as exc:
+                result = _failed_result(
+                    framework, cell.kernel, case, cell.mode, "error", exc
+                )
+            spans = [span.as_dict() for span in telemetry.spans]
+            telemetry.spans.clear()
+            results.put(("cell", slot, cell.index, attempt, result, spans))
+        results.put(("idle", slot))
+
+
+def run_suite_threads(
+    frameworks: Iterable[Framework],
+    graph_names: Iterable[str],
+    kernels: Iterable[str] = KERNELS,
+    modes: Iterable[Mode] = (Mode.BASELINE, Mode.OPTIMIZED),
+    spec: BenchmarkSpec | None = None,
+    jobs: int = 2,
+    progress: Callable[[str], None] | None = None,
+    telemetry: Telemetry | None = None,
+    strict: bool = False,
+    cache: GraphCache | None = None,
+    journal: "CheckpointJournal | None" = None,
+    completed: Mapping[tuple[str, str, str, str], RunResult] | None = None,
+) -> ResultSet:
+    """Run a campaign over a pool of worker *threads* (``--pool threads``).
+
+    The corpus lives once in this process and is shared by reference —
+    no shared-memory publication, no pickling, no process spawn.  Python
+    kernels that release the GIL inside NumPy overlap on multiple cores;
+    pure-bytecode kernels serialize on the GIL but still benefit from the
+    near-zero dispatch cost.  Resilience semantics match the process pool
+    except where isolation is physically required: threads cannot be
+    hard-killed (deadlines are soft, crash-loop fallback never triggers)
+    and an injected process crash is fatal to the whole campaign.
+    """
+    spec = spec or BenchmarkSpec()
+    tel = telemetry if telemetry is not None else Telemetry()
+    framework_list = list(frameworks)
+    frameworks_by_name = {fw.name: fw for fw in framework_list}
+    cells = _enumerate_cells(
+        framework_list, list(graph_names), list(modes), list(kernels)
+    )
+    if not cells:
+        return ResultSet()
+
+    state = _CampaignState(cells, spec, tel, journal, strict, completed)
+    if state.done:
+        return state.result_set()
+    runnable = state.runnable()
+    needed_graphs = {cell.graph for cell in runnable}
+    jobs = max(1, min(int(jobs), len(runnable)))
+    state.queue_batches(plan_batches(runnable, spec, jobs, spec.batch_size))
+
+    # The corpus is built once and shared by reference: the GraphCase
+    # arrays are read-only by convention and every kernel allocates its
+    # own outputs, exactly as in the serial path.
+    cases = {name: build_case(name, spec, cache) for name in needed_graphs}
+
+    results_q: "queue_mod.Queue" = queue_mod.Queue()
+    task_queues = {slot: queue_mod.Queue() for slot in range(jobs)}
+    busy = {slot: False for slot in range(jobs)}
+    threads = [
+        threading.Thread(
+            target=_thread_worker,
+            args=(
+                slot,
+                task_queues[slot],
+                results_q,
+                spec,
+                cases,
+                frameworks_by_name,
+                tel.track_memory,
+            ),
+            daemon=True,
+        )
+        for slot in range(jobs)
+    ]
+    for thread in threads:
+        thread.start()
+
+    def dispatch() -> None:
+        for slot in busy:
+            if busy[slot]:
+                continue
+            batch = state.next_batch()
+            if batch is None:
+                return
+            busy[slot] = True
+            task_queues[slot].put(batch)
+
+    try:
+        dispatch()
+        while not state.done:
+            try:
+                message = results_q.get(timeout=_POLL_SECONDS)
+            except queue_mod.Empty:
+                message = None
+            if message is not None:
+                kind = message[0]
+                if kind == "start":
+                    if progress is not None:
+                        progress(cells[message[2]].label)
+                elif kind == "cell":
+                    _, slot, index, attempt, result, span_records = message
+                    state.accounted.add((index, attempt))
+                    for record in span_records:
+                        tel.ingest(Span.from_dict(record))
+                    state.settle(cells[index], result, attempt)
+                elif kind == "idle":
+                    busy[message[1]] = False
+
+            for cell, attempt in state.due_retries(time.monotonic()):
+                state.pending.append([(cell, attempt)])
+            dispatch()
+    finally:
+        for slot in task_queues:
+            task_queues[slot].put(None)
+        for thread in threads:
+            # Busy threads finish their current batch first; they are
+            # daemons, so an abandoned (strict-abort) campaign never
+            # blocks interpreter exit on them.
+            thread.join(timeout=5.0)
+
+    return state.result_set()

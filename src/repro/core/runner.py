@@ -425,12 +425,15 @@ def run_suite(
     other cell still runs.  ``strict=True`` restores fail-fast: the first
     failing cell re-raises.
 
-    ``jobs`` (default ``spec.jobs``) > 1 dispatches to the process-pool
-    executor (:mod:`repro.core.executor`): cells are sharded across
-    worker processes over a shared-memory corpus, and the per-trial
-    deadline becomes a *hard* kill.  ``jobs=1`` is the in-process serial
-    path, where the deadline is soft (see :class:`TrialDeadline`).
-    ``cache`` routes graph building through a persistent on-disk cache.
+    ``jobs`` (default ``spec.jobs``) > 1 dispatches to a parallel
+    executor (:mod:`repro.core.executor`) selected by ``spec.pool``:
+    ``"process"`` shards batches of cells across warm worker processes
+    over a shared-memory corpus and turns the per-trial deadline into a
+    *hard* kill; ``"threads"`` runs cells on worker threads sharing this
+    process's corpus (cheapest dispatch, soft deadlines).  ``jobs=1`` is
+    the in-process serial path, where the deadline is soft (see
+    :class:`TrialDeadline`).  ``cache`` routes graph building through a
+    persistent on-disk cache.
 
     Resilience layer (both paths):
 
@@ -468,6 +471,7 @@ def run_suite(
         "modes": mode_values,
         "frameworks": framework_names,
         "jobs": effective_jobs,
+        "pool": spec.pool,
     }
 
     completed: dict[tuple[str, str, str, str], RunResult] = {}
@@ -502,10 +506,13 @@ def run_suite(
 
     try:
         if effective_jobs > 1:
-            from .executor import run_suite_parallel
+            from .executor import run_suite_parallel, run_suite_threads
 
+            executor = (
+                run_suite_threads if spec.pool == "threads" else run_suite_parallel
+            )
             with graceful_shutdown():
-                results = run_suite_parallel(
+                results = executor(
                     frameworks,
                     graph_names,
                     kernels=kernels,

@@ -59,11 +59,22 @@ def campaign_fingerprint(
     the same spec (trials, scale, seed, timeout — fault plans excluded)
     over the same axes.  The environment rides along so resume can refuse
     a journal written on a non-comparable machine.
+
+    Execution topology — ``jobs``, ``pool``, ``batch_size`` — is *not*
+    identity: the executor equivalence matrix guarantees cells are
+    interchangeable across serial, process-pool, and thread-pool runs,
+    so a campaign interrupted under one topology may resume under
+    another (e.g. finish a crashed ``--jobs 8`` run serially).
     """
     from ..store.environment import fingerprint
 
+    spec_identity = {
+        key: value
+        for key, value in spec.as_dict().items()
+        if key not in ("jobs", "pool", "batch_size")
+    }
     return {
-        "spec": spec.as_dict(),
+        "spec": spec_identity,
         "graphs": list(graphs),
         "kernels": list(kernels),
         "modes": list(modes),
