@@ -5,11 +5,17 @@ operation every framework performs identically in hardware; the frameworks
 differentiate *above* this level (frontier representation, direction choice,
 scheduling).  Centralizing the gather keeps each framework package focused
 on what actually distinguishes it in the paper.
+
+Since the substrate port these are thin aliases over :mod:`repro.la.gather`
+(kept so the long-standing import surface survives); the actual gather —
+and its pre-port reference formulation — lives there.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..la.gather import gather_edges, gather_edges_weighted
 
 __all__ = ["expand_frontier", "expand_frontier_weighted", "row_slices"]
 
@@ -23,19 +29,7 @@ def expand_frontier(
     vertex owning edge ``i`` and ``targets[i]`` its head.  Duplicate targets
     are preserved (deduplication policy is a framework decision).
     """
-    starts = indptr[frontier]
-    counts = indptr[frontier + 1] - starts
-    total = int(counts.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty
-    # Build a flat index selecting each vertex's adjacency slice: offsets
-    # within the concatenated output minus the cumulative starts.
-    sources = np.repeat(frontier, counts)
-    offsets = np.arange(total, dtype=np.int64)
-    row_begin = np.repeat(np.cumsum(counts) - counts, counts)
-    flat = np.repeat(starts, counts) + (offsets - row_begin)
-    return sources, indices[flat]
+    return gather_edges(indptr, indices, frontier)
 
 
 def expand_frontier_weighted(
@@ -45,17 +39,7 @@ def expand_frontier_weighted(
     frontier: np.ndarray,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Like :func:`expand_frontier` but also returns per-edge weights."""
-    starts = indptr[frontier]
-    counts = indptr[frontier + 1] - starts
-    total = int(counts.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty, np.empty(0, dtype=weights.dtype)
-    sources = np.repeat(frontier, counts)
-    offsets = np.arange(total, dtype=np.int64)
-    row_begin = np.repeat(np.cumsum(counts) - counts, counts)
-    flat = np.repeat(starts, counts) + (offsets - row_begin)
-    return sources, indices[flat], weights[flat]
+    return gather_edges_weighted(indptr, indices, weights, frontier)
 
 
 def row_slices(

@@ -21,6 +21,7 @@ import numpy as np
 from ..core import counters
 from ..core.nputil import expand_frontier
 from ..graphs import CSRGraph
+from ..la import unique_ids
 from ..worklist import for_each_eager
 
 __all__ = ["galois_bc", "galois_bc_async"]
@@ -44,7 +45,7 @@ def _forward(graph: CSRGraph, source: int) -> tuple[np.ndarray, np.ndarray, list
         depth[tgts[fresh_mask]] = level + 1
         on_next = depth[tgts] == level + 1
         np.add.at(sigma, tgts[on_next], sigma[srcs[on_next]])
-        frontier = np.unique(tgts[fresh_mask])
+        frontier = unique_ids(tgts[fresh_mask], n)
         if frontier.size:
             levels.append(frontier)
         level += 1
@@ -113,7 +114,7 @@ def _forward_async(
         if tgts.size == 0:
             return tgts
         np.minimum.at(depth, tgts, candidate)
-        improved = np.unique(tgts)
+        improved = unique_ids(tgts, n)
         fresh = improved[~queued[improved]]
         queued[fresh] = True
         return fresh

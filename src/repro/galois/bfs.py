@@ -16,6 +16,7 @@ from ..core import counters
 from ..core.bitmap import Bitmap
 from ..core.nputil import expand_frontier
 from ..graphs import CSRGraph
+from ..la import claim_first_writer
 from ..worklist import for_each_eager
 
 __all__ = ["sync_bfs", "async_bfs"]
@@ -49,9 +50,7 @@ def sync_bfs(graph: CSRGraph, source: int) -> np.ndarray:
                 if srcs.size == 0:
                     frontier = np.empty(0, dtype=np.int64)
                     break
-                fresh, first = np.unique(srcs, return_index=True)
-                parents[fresh] = tgts[first]
-                frontier = fresh
+                frontier = claim_first_writer(parents, srcs, tgts, n)
                 bits = Bitmap.from_indices(n, frontier)
             if frontier.size == 0:
                 break
@@ -61,9 +60,7 @@ def sync_bfs(graph: CSRGraph, source: int) -> np.ndarray:
         srcs, tgts = srcs[unclaimed], tgts[unclaimed]
         if tgts.size == 0:
             break
-        fresh, first = np.unique(tgts, return_index=True)
-        parents[fresh] = srcs[first]
-        frontier = fresh
+        frontier = claim_first_writer(parents, tgts, srcs, n)
     return parents
 
 

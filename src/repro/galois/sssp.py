@@ -15,6 +15,7 @@ import numpy as np
 from ..core import counters
 from ..core.nputil import expand_frontier_weighted
 from ..graphs import CSRGraph
+from ..la import unique_ids
 from ..worklist import OrderedByIntegerMetric
 
 __all__ = ["sync_delta_stepping", "async_delta_stepping"]
@@ -38,7 +39,7 @@ def _relax_chunk(
     if tgts.size == 0:
         return tgts, candidate
     np.minimum.at(dist, tgts, candidate)
-    improved = np.unique(tgts)
+    improved = unique_ids(tgts, graph.num_vertices)
     return improved, dist[improved]
 
 

@@ -49,7 +49,10 @@ class GAPReference(Framework):
     )
 
     def bfs(self, graph: CSRGraph, source: int, ctx: RunContext = RunContext()) -> np.ndarray:
-        return direction_optimizing_bfs(graph, source)
+        # Optimized runs may stop each pull-row scan at the first frontier
+        # hit; Baseline keeps the full-scan edge counts for parity with the
+        # paper's instrumentation.
+        return direction_optimizing_bfs(graph, source, pull_early_exit=ctx.optimized)
 
     def sssp(self, graph: CSRGraph, source: int, ctx: RunContext = RunContext()) -> np.ndarray:
         return delta_stepping(graph, source, delta=ctx.delta)

@@ -18,8 +18,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..core import counters
-from ..core.nputil import expand_frontier
 from ..graphs import CSRGraph
+from ..la import gather_edges, unique_ids
 
 __all__ = ["brandes_bc", "brandes_forward", "brandes_backward"]
 
@@ -45,7 +45,7 @@ def brandes_forward(
     level = 0
     while frontier.size:
         counters.add_round()
-        sources, targets = expand_frontier(graph.indptr, graph.indices, frontier)
+        sources, targets = gather_edges(graph.indptr, graph.indices, frontier)
         counters.add_edges(targets.size)
         undiscovered = depth[targets] < 0
         depth[targets[undiscovered]] = level + 1
@@ -53,7 +53,7 @@ def brandes_forward(
         succ_src, succ_dst = sources[on_next], targets[on_next]
         dag_edges.append((succ_src, succ_dst))
         np.add.at(sigma, succ_dst, sigma[succ_src])
-        frontier = np.unique(targets[undiscovered])
+        frontier = unique_ids(targets[undiscovered], n)
         if frontier.size:
             levels.append(frontier)
         level += 1

@@ -9,7 +9,9 @@ The reference alternates between two strategies per round:
 
 The switch uses GAP's two heuristics: go bottom-up when the frontier's
 outgoing edge count exceeds ``edges_remaining / alpha``, and back top-down
-when the frontier shrinks below ``n / beta``.
+when the frontier shrinks below ``n / beta``.  Both step kernels sit on the
+:mod:`repro.la` substrate; the ALPHA/BETA policy itself lives in
+:class:`repro.la.DirectionOptimizer` so the other frameworks share it.
 """
 
 from __future__ import annotations
@@ -18,14 +20,11 @@ import numpy as np
 
 from ..core import counters
 from ..core.bitmap import Bitmap
-from ..core.nputil import expand_frontier
 from ..graphs import CSRGraph
+from ..la import DirectionOptimizer, claim_first_writer, gather_edges, masked_pull_claim
+from ..la.direction import ALPHA, BETA
 
 __all__ = ["direction_optimizing_bfs", "push_step", "pull_step"]
-
-# GAP reference defaults (gapbs bfs.cc).
-ALPHA = 15
-BETA = 18
 
 
 def push_step(
@@ -37,38 +36,42 @@ def push_step(
     reference code: of all frontier edges into an unvisited target, the one
     appearing first claims it.
     """
-    sources, targets = expand_frontier(graph.indptr, graph.indices, frontier)
+    sources, targets = gather_edges(graph.indptr, graph.indices, frontier)
     counters.add_edges(targets.size)
     unvisited = parents[targets] < 0
     sources, targets = sources[unvisited], targets[unvisited]
     if targets.size == 0:
         return np.empty(0, dtype=np.int64)
-    fresh, first = np.unique(targets, return_index=True)
-    parents[fresh] = sources[first]
-    return fresh
+    return claim_first_writer(parents, targets, sources, graph.num_vertices)
 
 
 def pull_step(
-    graph: CSRGraph, frontier_bits: Bitmap, parents: np.ndarray
+    graph: CSRGraph,
+    frontier_bits: Bitmap,
+    parents: np.ndarray,
+    early_exit: bool = False,
 ) -> np.ndarray:
     """Bottom-up step: unvisited vertices search in-neighbors for a parent.
 
-    Scans the full in-adjacency of every unvisited vertex (the vectorized
-    equivalent of the reference's early-exit scan; the work counted is the
-    worst case, which is what the bitmap layout pays for in exchange for
-    avoiding atomics).
+    By default every unvisited vertex scans its full in-adjacency — the
+    bitmap layout's worst case, kept as the counter-parity baseline.  With
+    ``early_exit`` the substrate's chunked scan stops paying for a vertex
+    once a frontier in-neighbor is found (the vectorized analog of the
+    reference C++ ``break``), which strictly reduces ``edges_examined``
+    without changing any parent.
     """
     unvisited = np.flatnonzero(parents < 0)
     if unvisited.size == 0:
         return np.empty(0, dtype=np.int64)
-    sources, targets = expand_frontier(graph.in_indptr, graph.in_indices, unvisited)
-    counters.add_edges(targets.size)
-    hits = frontier_bits.contains(targets)
-    sources, targets = sources[hits], targets[hits]
-    if sources.size == 0:
-        return np.empty(0, dtype=np.int64)
-    fresh, first = np.unique(sources, return_index=True)
-    parents[fresh] = targets[first]
+    fresh, examined = masked_pull_claim(
+        graph.in_indptr,
+        graph.in_indices,
+        unvisited,
+        frontier_bits.bits,
+        parents,
+        early_exit=early_exit,
+    )
+    counters.add_edges(examined)
     return fresh
 
 
@@ -77,29 +80,35 @@ def direction_optimizing_bfs(
     source: int,
     alpha: int = ALPHA,
     beta: int = BETA,
+    pull_early_exit: bool = False,
 ) -> np.ndarray:
     """Full direction-optimizing BFS; returns the GAP parent array.
 
     ``alpha <= 0`` disables the bottom-up switch entirely (pure push),
     which the threshold-sensitivity sweep uses as its baseline.
+    ``pull_early_exit`` opts in to the reduced-work bottom-up scan (it
+    changes the *counted* work, so the default stays off for parity with
+    the legacy accounting).
     """
     n = graph.num_vertices
     parents = np.full(n, -1, dtype=np.int64)
     parents[source] = source
     frontier = np.array([source], dtype=np.int64)
     out_degrees = graph.out_degrees
-    edges_remaining = graph.num_edges
+    policy = DirectionOptimizer(n, graph.num_edges, alpha=max(alpha, 1), beta=beta)
 
     while frontier.size:
         counters.add_round()
-        scout_count = int(out_degrees[frontier].sum())
-        edges_remaining -= scout_count
-        if alpha > 0 and scout_count > max(edges_remaining, 1) // alpha:
+        scout_count = policy.scout_count(out_degrees, frontier)
+        policy.charge(scout_count)
+        if alpha > 0 and policy.wants_pull(scout_count):
             # Bottom-up regime: loop pull steps until the frontier is small.
             counters.note("direction_switches")
             frontier_bits = Bitmap.from_indices(n, frontier)
-            while frontier.size and frontier.size > n // beta:
-                frontier = pull_step(graph, frontier_bits, parents)
+            while frontier.size and not policy.frontier_is_small(frontier.size):
+                frontier = pull_step(
+                    graph, frontier_bits, parents, early_exit=pull_early_exit
+                )
                 frontier_bits = Bitmap.from_indices(n, frontier)
                 counters.add_round()
             if frontier.size == 0:

@@ -20,8 +20,8 @@ import numpy as np
 
 from ..core import counters
 from ..core.hooking import compress, converge, hook_pass, majority_component
-from ..core.nputil import expand_frontier
 from ..graphs import CSRGraph
+from ..la import gather_edges
 
 __all__ = ["afforest"]
 
@@ -40,11 +40,11 @@ def _remaining_edges(
     graph: CSRGraph, vertices: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
     """All out- (and, for directed graphs, in-) edges of ``vertices``."""
-    src_out, dst_out = expand_frontier(graph.indptr, graph.indices, vertices)
+    src_out, dst_out = gather_edges(graph.indptr, graph.indices, vertices)
     if not graph.directed:
         return src_out, dst_out
     # Weak connectivity on directed graphs also needs incoming edges.
-    src_in, dst_in = expand_frontier(graph.in_indptr, graph.in_indices, vertices)
+    src_in, dst_in = gather_edges(graph.in_indptr, graph.in_indices, vertices)
     return np.concatenate([src_out, src_in]), np.concatenate([dst_out, dst_in])
 
 

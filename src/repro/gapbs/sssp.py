@@ -18,8 +18,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..core import counters
-from ..core.nputil import expand_frontier_weighted
 from ..graphs import CSRGraph
+from ..la import gather_edges_weighted, relax_minimum
 
 __all__ = ["delta_stepping"]
 
@@ -33,7 +33,7 @@ def _relax(
     graph: CSRGraph, frontier: np.ndarray, dist: np.ndarray
 ) -> np.ndarray:
     """Relax all out-edges of ``frontier``; returns vertices that improved."""
-    sources, targets, weights = expand_frontier_weighted(
+    sources, targets, weights = gather_edges_weighted(
         graph.indptr, graph.indices, graph.weights, frontier
     )
     counters.add_edges(targets.size)
@@ -42,10 +42,7 @@ def _relax(
     candidate = dist[sources] + weights
     better = candidate < dist[targets]
     targets, candidate = targets[better], candidate[better]
-    if targets.size == 0:
-        return np.empty(0, dtype=np.int64)
-    np.minimum.at(dist, targets, candidate)
-    return np.unique(targets)
+    return relax_minimum(dist, targets, candidate, graph.num_vertices)
 
 
 def delta_stepping(

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..core import counters
 from ..graphs import CSRGraph, degree_order_permutation
+from ..la.intersect import count_forward_triangles
 
 __all__ = ["ordered_count", "worth_relabelling", "forward_adjacency", "triangle_count"]
 
@@ -47,24 +48,15 @@ def forward_adjacency(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
 
 
 def ordered_count(indptr: np.ndarray, indices: np.ndarray) -> int:
-    """Count triangles by intersecting forward lists (merge-based)."""
-    total = 0
-    num_vertices = indptr.size - 1
-    for u in range(num_vertices):
-        row = indices[indptr[u]: indptr[u + 1]]
-        if row.size < 2:
-            continue
-        # Gather the forward lists of all forward neighbors of u at once.
-        starts = indptr[row]
-        ends = indptr[row + 1]
-        chunks = [indices[s:e] for s, e in zip(starts, ends) if e > s]
-        if not chunks:
-            continue
-        targets = np.concatenate(chunks)
-        counters.add_edges(targets.size + row.size)
-        position = np.searchsorted(row, targets)
-        position[position == row.size] = 0
-        total += int((row[position] == targets).sum())
+    """Count triangles by intersecting forward lists.
+
+    Both the blocked-vectorized substrate path and the pre-port per-vertex
+    loop live in :func:`repro.la.intersect.count_forward_triangles`; the
+    edge-work accounting (``targets.size + row.size`` per qualifying base
+    vertex) is identical across the two.
+    """
+    total, examined = count_forward_triangles(indptr, indices)
+    counters.add_edges(examined)
     return total
 
 

@@ -13,6 +13,7 @@ import numpy as np
 from ..core import counters
 from ..core.nputil import expand_frontier
 from ..graphs import CSRGraph
+from ..la import unique_ids
 from .buffers import LocalBuffer
 
 __all__ = ["gkc_bc"]
@@ -42,7 +43,7 @@ def gkc_bc(graph: CSRGraph, sources: np.ndarray) -> np.ndarray:
             dag.append((srcs[on_next], tgts[on_next]))
             np.add.at(sigma, tgts[on_next], sigma[srcs[on_next]])
             buffer = LocalBuffer()
-            buffer.push(np.unique(tgts[fresh_mask]))
+            buffer.push(unique_ids(tgts[fresh_mask], n))
             frontier = buffer.drain()
             if frontier.size:
                 levels.append(frontier)

@@ -14,6 +14,7 @@ from ..core import counters
 from ..core.bitmap import Bitmap
 from ..core.nputil import expand_frontier
 from ..graphs import CSRGraph
+from ..la import claim_first_writer
 from .buffers import LocalBuffer
 
 __all__ = ["gkc_bfs"]
@@ -46,9 +47,7 @@ def gkc_bfs(graph: CSRGraph, source: int) -> np.ndarray:
                 srcs, tgts = srcs[hits], tgts[hits]
                 if srcs.size == 0:
                     return parents
-                fresh, first = np.unique(srcs, return_index=True)
-                parents[fresh] = tgts[first]
-                frontier = fresh
+                frontier = claim_first_writer(parents, srcs, tgts, n)
                 bits = Bitmap.from_indices(n, frontier)
             if frontier.size == 0:
                 return parents
@@ -59,8 +58,7 @@ def gkc_bfs(graph: CSRGraph, source: int) -> np.ndarray:
         srcs, tgts = srcs[unclaimed], tgts[unclaimed]
         if tgts.size == 0:
             return parents
-        fresh, first = np.unique(tgts, return_index=True)
-        parents[fresh] = srcs[first]
+        fresh = claim_first_writer(parents, tgts, srcs, n)
         buffer.push(fresh)
         frontier = buffer.drain()
     return parents

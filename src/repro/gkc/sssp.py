@@ -14,6 +14,7 @@ import numpy as np
 from ..core import counters
 from ..core.nputil import expand_frontier_weighted
 from ..graphs import CSRGraph
+from ..la import unique_ids
 from .buffers import LocalBuffer
 
 __all__ = ["gkc_sssp"]
@@ -48,7 +49,7 @@ def gkc_sssp(graph: CSRGraph, source: int, delta: int = 16) -> np.ndarray:
             if tgts.size == 0:
                 break
             np.minimum.at(dist, tgts, candidate)
-            improved = np.unique(tgts)
+            improved = unique_ids(tgts, n)
             landing = (dist[improved] // delta).astype(np.int64)
             members = improved[landing == current]
             for bucket in np.unique(landing[landing != current]):

@@ -16,6 +16,7 @@ import numpy as np
 from ..core import counters
 from ..graphitc import Schedule, VertexSet, edgeset_apply_from
 from ..graphs import CSRGraph
+from ..la import first_occurrence_mask
 
 __all__ = ["graphit_bc"]
 
@@ -37,11 +38,7 @@ def graphit_bc(graph: CSRGraph, sources: np.ndarray, schedule: Schedule) -> np.n
         def count_paths(srcs: np.ndarray, dsts: np.ndarray, weights: np.ndarray) -> np.ndarray:
             del weights
             np.add.at(sigma, dsts, sigma[srcs])
-            fresh, first = np.unique(dsts, return_index=True)
-            del fresh
-            modified = np.zeros(dsts.size, dtype=bool)
-            modified[first] = True
-            return modified
+            return first_occurrence_mask(dsts, n)
 
         frontier = VertexSet.from_ids(n, levels[0], schedule.frontier)
         while frontier:

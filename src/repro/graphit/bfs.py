@@ -16,6 +16,7 @@ import numpy as np
 from ..core import counters
 from ..graphitc import Schedule, VertexSet, edgeset_apply_from
 from ..graphs import CSRGraph
+from ..la import first_occurrence_mask
 
 __all__ = ["graphit_bfs"]
 
@@ -28,10 +29,8 @@ def graphit_bfs(graph: CSRGraph, source: int, schedule: Schedule) -> np.ndarray:
 
     def update_parent(srcs: np.ndarray, dsts: np.ndarray, weights: np.ndarray) -> np.ndarray:
         del weights
-        fresh, first = np.unique(dsts, return_index=True)
-        parents[fresh] = srcs[first]
-        modified = np.zeros(dsts.size, dtype=bool)
-        modified[first] = True
+        modified = first_occurrence_mask(dsts, n)
+        parents[dsts[modified]] = srcs[modified]
         return modified
 
     frontier = VertexSet.from_ids(n, np.array([source]), schedule.frontier)

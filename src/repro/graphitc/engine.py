@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core import counters
 from ..graphs import CSRGraph
+from ..la import gather_edges, gather_edges_weighted, unique_ids
 from .schedule import Direction, FrontierLayout, Schedule
 from .vertexset import VertexSet
 
@@ -42,20 +43,13 @@ def _expand(
     weights: np.ndarray | None,
     vertices: np.ndarray,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    starts = indptr[vertices]
-    spans = indptr[vertices + 1] - starts
-    total = int(spans.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty, np.empty(0, dtype=np.float64)
-    sources = np.repeat(vertices, spans)
-    offsets = np.arange(total, dtype=np.int64)
-    begin = np.repeat(np.cumsum(spans) - spans, spans)
-    flat = np.repeat(starts, spans) + (offsets - begin)
-    edge_weights = (
-        np.ones(total, dtype=np.float64) if weights is None else weights[flat].astype(np.float64)
+    if weights is None:
+        sources, targets = gather_edges(indptr, indices, vertices)
+        return sources, targets, np.ones(targets.size, dtype=np.float64)
+    sources, targets, edge_weights = gather_edges_weighted(
+        indptr, indices, weights, vertices
     )
-    return sources, indices[flat], edge_weights
+    return sources, targets, edge_weights.astype(np.float64)
 
 
 def edgeset_apply_from(
@@ -113,7 +107,7 @@ def edgeset_apply_from(
     modified = apply_fn(srcs, dsts, weights)
     out = dsts[modified]
     if schedule.deduplicate:
-        out = np.unique(out)
+        out = unique_ids(out, graph.num_vertices)
     return VertexSet.from_ids(graph.num_vertices, out, schedule.frontier)
 
 
@@ -128,18 +122,20 @@ class SegmentedEdges:
     """
 
     def __init__(self, graph: CSRGraph, num_segments: int, pull: bool = True) -> None:
-        indptr = graph.in_indptr if pull else graph.indptr
-        indices = graph.in_indices if pull else graph.indices
-        all_vertices = np.arange(graph.num_vertices, dtype=np.int64)
-        owners, others, _ = _expand(indptr, indices, None, all_vertices)
-        sources = others if pull else owners
-        targets = owners if pull else others
+        del pull  # the edge set is the same either way; see below
+        # Edges sorted by source are exactly the out-CSR's storage order, so
+        # the partition falls out of ``indptr`` directly — no argsort.  (The
+        # historical construction expanded the in-adjacency and stably
+        # re-sorted it by source, producing this same edge sequence at
+        # O(E log E) — enough to eat the tiling's amortization budget.)
+        sources = np.repeat(
+            np.arange(graph.num_vertices, dtype=np.int64), np.diff(graph.indptr)
+        )
+        targets = graph.indices
         boundaries = np.linspace(
             0, graph.num_vertices, num_segments + 1, dtype=np.int64
         )
-        order = np.argsort(sources, kind="stable")
-        sources, targets = sources[order], targets[order]
-        cuts = np.searchsorted(sources, boundaries)
+        cuts = graph.indptr[boundaries]
         self.segments: list[tuple[np.ndarray, np.ndarray]] = [
             (sources[cuts[i]: cuts[i + 1]], targets[cuts[i]: cuts[i + 1]])
             for i in range(num_segments)

@@ -1,0 +1,46 @@
+"""repro.la — the shared linear-algebra kernel substrate.
+
+One optimized CSR primitive tier under all framework reimplementations:
+edge gathers (:mod:`.gather`), first-writer frontier bookkeeping
+(:mod:`.frontier`), masked/semiring SpMV (:mod:`.spmv`), and the
+direction-optimizing push/pull policy (:mod:`.direction`).  Every
+primitive keeps its pre-port reference implementation behind the
+:mod:`.config` switch so benchmarks and differential tests can A/B the
+two engines in-process.  See ``docs/KERNEL_SUBSTRATE.md``.
+"""
+
+from .config import enabled, set_enabled, use_substrate
+from .direction import ALPHA, BETA, DirectionOptimizer
+from .frontier import (
+    claim_first_writer,
+    first_occurrence_mask,
+    relax_minimum,
+    unique_ids,
+)
+from .gather import gather_edges, gather_edges_weighted, is_full_range
+from .spmv import (
+    frontier_spmv,
+    masked_pull_claim,
+    plus_times_operator,
+    spmv_min_plus,
+)
+
+__all__ = [
+    "enabled",
+    "set_enabled",
+    "use_substrate",
+    "ALPHA",
+    "BETA",
+    "DirectionOptimizer",
+    "claim_first_writer",
+    "first_occurrence_mask",
+    "relax_minimum",
+    "unique_ids",
+    "gather_edges",
+    "gather_edges_weighted",
+    "is_full_range",
+    "frontier_spmv",
+    "masked_pull_claim",
+    "plus_times_operator",
+    "spmv_min_plus",
+]

@@ -1,0 +1,53 @@
+"""Runtime switch between the optimized substrate and its reference paths.
+
+Every primitive in :mod:`repro.la` carries two implementations: the
+optimized path (single-repeat gathers, first-writer claims without sorts,
+SciPy-backed SpMV) and a reference path that is byte-for-byte the hot-loop
+code the framework kernels used before the port.  The switch exists for two
+reasons:
+
+* **A/B benchmarking** — ``benchmarks/bench_kernel_substrate.py`` times
+  every ported kernel under both paths from the same process and emits the
+  speedup table (``BENCH_kernels.json``);
+* **differential testing** — ``tests/test_la_differential.py`` runs every
+  ported framework x kernel cell under both paths and asserts the outputs
+  match, which is the proof that the substrate is a constant-factor
+  optimization and not an algorithmic change.
+
+The flag is process-global and intended to be toggled only from test and
+benchmark harnesses (kernels never touch it); ``REPRO_LA_DISABLE=1`` in the
+environment starts the process on the reference paths.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator
+
+__all__ = ["enabled", "set_enabled", "use_substrate"]
+
+_enabled: bool = os.environ.get("REPRO_LA_DISABLE", "") not in ("1", "true", "yes")
+
+
+def enabled() -> bool:
+    """Whether the optimized substrate paths are active."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> bool:
+    """Set the switch; returns the previous value."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous
+
+
+@contextlib.contextmanager
+def use_substrate(flag: bool) -> Iterator[None]:
+    """Temporarily force the optimized (True) or reference (False) paths."""
+    previous = set_enabled(flag)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

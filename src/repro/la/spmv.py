@@ -1,0 +1,257 @@
+"""Masked SpMV primitives: the linear-algebra core under the frameworks.
+
+GraphBLAST and GraphMat demonstrated that one well-optimized masked
+SpMV/semiring engine can back every classic graph kernel; this module is
+that engine for the reproduction.  Three tiers:
+
+* :func:`plus_times_operator` — the (+, x) semiring product as a reusable
+  operator closure.  The optimized path hands the CSR arrays to SciPy's
+  compiled matvec (our stand-in for a vendor BLAS); the reference path is
+  the gather + prefix-sum formulation the kernels used before the port.
+  PageRank-style iteration builds the operator once and applies it every
+  sweep, amortizing construction exactly like a real library would.
+* :func:`spmv_min_plus` — the full (min, +) tropical product, segment-min
+  over CSR rows (SciPy has no min-plus; ``np.minimum.reduceat`` does).
+* :func:`masked_pull_claim` — the masked pull step of direction-optimized
+  BFS: rows restricted to a structural mask (the unvisited set), values
+  from the ``any_secondi`` semiring (adopt the first in-neighbor found in
+  the frontier bitmap), with an optional chunked early-exit scan that
+  stops paying for a row's in-adjacency once a parent is found.
+
+Work accounting stays with the callers: every function returns (or lets
+the caller compute) the number of edges actually examined, and never
+touches the counters itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from . import config
+from .gather import gather_edges, gather_edges_weighted
+from .frontier import claim_first_writer
+
+__all__ = [
+    "plus_times_operator",
+    "spmv_min_plus",
+    "masked_pull_claim",
+    "frontier_spmv",
+]
+
+# Early-exit pull: rows scan their first EARLY_EXIT_CHUNK in-edges, then
+# unsatisfied rows scan geometrically larger chunks (x4 per pass).  The
+# first chunk covers most vertices on low-diameter graphs, where nearly
+# every in-edge's source is already in the frontier.
+EARLY_EXIT_CHUNK = 4
+EARLY_EXIT_GROWTH = 4
+
+
+def plus_times_operator(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray | None = None,
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Return ``x -> A @ x`` for the CSR matrix ``A`` over (+, x).
+
+    ``data=None`` means an unweighted (pattern) matrix.  Build once per
+    kernel invocation; apply once per sweep.
+    """
+    num_rows = indptr.size - 1
+    num_edges = int(indices.size)
+    if config.enabled():
+        values = np.ones(num_edges, dtype=np.float64) if data is None else data
+        matrix = sp.csr_matrix(
+            (values, indices, indptr), shape=(num_rows, num_rows), copy=False
+        )
+        return lambda x: matrix @ x
+
+    def reference(x: np.ndarray) -> np.ndarray:
+        gathered = x[indices] if data is None else x[indices] * data
+        prefix = np.concatenate([[0.0], np.cumsum(gathered)])
+        return prefix[indptr[1:]] - prefix[indptr[:-1]]
+
+    return reference
+
+
+def spmv_min_plus(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    x: np.ndarray,
+) -> np.ndarray:
+    """Full (min, +) product: ``y[i] = min over row i of (w + x[col])``.
+
+    Rows with no stored entries get ``+inf`` (the tropical identity).
+    """
+    num_rows = indptr.size - 1
+    y = np.full(num_rows, np.inf, dtype=np.float64)
+    if indices.size == 0:
+        return y
+    terms = weights + x[indices]
+    occupied = np.flatnonzero(indptr[1:] > indptr[:-1])
+    if occupied.size == 0:
+        return y
+    if config.enabled():
+        y[occupied] = np.minimum.reduceat(terms, indptr[occupied])
+        return y
+    for row in occupied:  # reference: row-at-a-time reduction
+        y[row] = terms[indptr[row]: indptr[row + 1]].min()
+    return y
+
+
+def _pull_full_scan(
+    in_indptr: np.ndarray,
+    in_indices: np.ndarray,
+    unvisited: np.ndarray,
+    frontier_bits: np.ndarray,
+    parents: np.ndarray,
+    num_vertices: int,
+) -> tuple[np.ndarray, int]:
+    """Worst-case pull: every unvisited row scans its whole in-adjacency."""
+    sources, targets = gather_edges(in_indptr, in_indices, unvisited)
+    examined = int(targets.size)
+    hits = frontier_bits[targets]
+    sources, targets = sources[hits], targets[hits]
+    if sources.size == 0:
+        return np.empty(0, dtype=np.int64), examined
+    fresh = claim_first_writer(parents, sources, targets, num_vertices)
+    return fresh, examined
+
+
+def _pull_early_exit(
+    in_indptr: np.ndarray,
+    in_indices: np.ndarray,
+    unvisited: np.ndarray,
+    frontier_bits: np.ndarray,
+    parents: np.ndarray,
+    num_vertices: int,
+) -> tuple[np.ndarray, int]:
+    """Chunked early-exit pull: rows stop scanning at their first hit.
+
+    The vectorized analog of the reference C++ ``break``: all active rows
+    scan a bounded chunk of their in-adjacency per pass; rows that found a
+    frontier member drop out, and only the remainder pays for deeper
+    chunks.  Parent selection is identical to the full scan (the first
+    frontier member in adjacency order), only the edges *examined* shrink.
+    """
+    examined = 0
+    chunk = EARLY_EXIT_CHUNK
+    cursor = in_indptr[unvisited].astype(np.int64, copy=True)
+    row_end = in_indptr[unvisited + 1].astype(np.int64, copy=False)
+    active = unvisited
+    found_ids: list[np.ndarray] = []
+    while active.size:
+        take = np.minimum(cursor + chunk, row_end) - cursor
+        scanning = take > 0
+        rows, starts, counts = active[scanning], cursor[scanning], take[scanning]
+        if rows.size == 0:
+            break
+        ends = np.cumsum(counts)
+        total = int(ends[-1])
+        examined += total
+        flat = np.repeat(starts - (ends - counts), counts) + np.arange(
+            total, dtype=np.int64
+        )
+        targets = in_indices[flat]
+        owners = np.repeat(rows, counts)
+        hits = frontier_bits[targets]
+        if hits.any():
+            fresh = claim_first_writer(
+                parents, owners[hits], targets[hits], num_vertices
+            )
+            found_ids.append(fresh)
+            satisfied = np.zeros(num_vertices, dtype=bool)
+            satisfied[fresh] = True
+            keep = ~satisfied[active] & (cursor + chunk < row_end)
+        else:
+            keep = cursor + chunk < row_end
+        cursor = cursor + chunk
+        active, cursor, row_end = active[keep], cursor[keep], row_end[keep]
+        chunk *= EARLY_EXIT_GROWTH
+    if not found_ids:
+        return np.empty(0, dtype=np.int64), examined
+    if len(found_ids) == 1:
+        return found_ids[0], examined
+    flags = np.zeros(num_vertices, dtype=bool)
+    for ids in found_ids:
+        flags[ids] = True
+    return np.flatnonzero(flags), examined
+
+
+def masked_pull_claim(
+    in_indptr: np.ndarray,
+    in_indices: np.ndarray,
+    unvisited: np.ndarray,
+    frontier_bits: np.ndarray,
+    parents: np.ndarray,
+    early_exit: bool = False,
+) -> tuple[np.ndarray, int]:
+    """Masked pull step: unvisited rows adopt their first frontier in-neighbor.
+
+    The structural mask is the ``unvisited`` row set (the complement of the
+    visited vector); values follow the ``any_secondi`` semiring — each
+    claimed row's parent is the first in-neighbor found in ``frontier_bits``.
+    Writes ``parents`` in place and returns ``(fresh_rows, edges_examined)``
+    so the caller can report work honestly (with ``early_exit`` the scan
+    stops per row at the first hit, which is *less* work than the full
+    scan — see the counter-regression pin in ``tests/test_counter_regression``).
+    """
+    num_vertices = parents.size
+    if unvisited.size == 0:
+        return np.empty(0, dtype=np.int64), 0
+    if early_exit and config.enabled():
+        return _pull_early_exit(
+            in_indptr, in_indices, unvisited, frontier_bits, parents, num_vertices
+        )
+    return _pull_full_scan(
+        in_indptr, in_indices, unvisited, frontier_bits, parents, num_vertices
+    )
+
+
+def frontier_spmv(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    frontier: np.ndarray,
+    x: np.ndarray,
+    semiring,
+    mask_bits: np.ndarray | None = None,
+    complement: bool = False,
+    weights: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Batched frontier SpMV ``y' = x' * A`` over a configurable semiring.
+
+    The generic push primitive: expand the frontier's rows, multiply each
+    edge with the semiring's binary op (``x`` value on the source side,
+    edge weight — or 1 — on the matrix side), filter targets through an
+    optional boolean mask (``complement=True`` keeps targets *outside* the
+    mask), and reduce duplicates with the semiring's additive monoid.
+
+    Returns ``(target_ids, values, edges_examined)``; ``semiring`` is a
+    :class:`repro.semiring.ops.Semiring`.
+    """
+    if weights is None:
+        sources, targets = gather_edges(indptr, indices, frontier)
+        edge_vals = np.ones(targets.size, dtype=np.float64)
+    else:
+        sources, targets, edge_vals = gather_edges_weighted(
+            indptr, indices, weights, frontier
+        )
+    examined = int(targets.size)
+    if targets.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64), examined
+    # Index conventions mirror ``repro.semiring.operations.vxm``: positional
+    # operators (SECONDI) see the *source* row, so ANY_SECONDI adopts parents.
+    z = semiring.multiply.apply(x[sources], edge_vals, ix=sources, iy=sources)
+    z = np.asarray(z, dtype=np.float64)
+    if mask_bits is not None:
+        allowed = mask_bits[targets]
+        if complement:
+            allowed = ~allowed
+        targets, z = targets[allowed], z[allowed]
+        if targets.size == 0:
+            return np.empty(0, dtype=np.int64), z, examined
+    out_idx, out_vals = semiring.add.segment_reduce(targets, z)
+    return out_idx, out_vals, examined

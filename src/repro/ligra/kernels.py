@@ -21,8 +21,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..core import counters
-from ..core.nputil import expand_frontier_weighted
 from ..graphs import CSRGraph, degree_order_permutation, permute
+from ..la import first_occurrence_mask, gather_edges_weighted, relax_minimum
+from ..la.intersect import count_forward_triangles
 from .substrate import VertexSubset, edge_map
 
 __all__ = [
@@ -42,10 +43,8 @@ def ligra_bfs(graph: CSRGraph, source: int) -> np.ndarray:
     parents[source] = source
 
     def update(sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
-        fresh, first = np.unique(targets, return_index=True)
-        parents[fresh] = sources[first]
-        modified = np.zeros(targets.size, dtype=bool)
-        modified[first] = True
+        modified = first_occurrence_mask(targets, n)
+        parents[targets[modified]] = sources[modified]
         return modified
 
     def unvisited(vertices: np.ndarray) -> np.ndarray:
@@ -68,7 +67,7 @@ def ligra_sssp(graph: CSRGraph, source: int) -> np.ndarray:
     while frontier:
         counters.add_round()
         members = frontier.ids()
-        sources, targets, weights = expand_frontier_weighted(
+        sources, targets, weights = gather_edges_weighted(
             graph.indptr, graph.indices, graph.weights, members
         )
         counters.add_edges(targets.size)
@@ -79,8 +78,8 @@ def ligra_sssp(graph: CSRGraph, source: int) -> np.ndarray:
         targets, candidate = targets[better], candidate[better]
         if targets.size == 0:
             break
-        np.minimum.at(dist, targets, candidate)
-        frontier = VertexSubset.from_ids(n, targets)
+        improved = relax_minimum(dist, targets, candidate, n)
+        frontier = VertexSubset(n, ids=improved)
     return dist
 
 
@@ -157,11 +156,7 @@ def ligra_bc(graph: CSRGraph, sources: np.ndarray) -> np.ndarray:
 
         def count_paths(srcs: np.ndarray, tgts: np.ndarray) -> np.ndarray:
             np.add.at(sigma, tgts, sigma[srcs])
-            fresh, first = np.unique(tgts, return_index=True)
-            del fresh
-            modified = np.zeros(tgts.size, dtype=bool)
-            modified[first] = True
-            return modified
+            return first_occurrence_mask(tgts, n)
 
         def unvisited(vertices: np.ndarray) -> np.ndarray:
             return depth[vertices] < 0
@@ -213,18 +208,6 @@ def ligra_tc(graph: CSRGraph, seed: int = 0) -> int:
     counts = np.bincount(src, minlength=n)
     indptr = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr[1:])
-    total = 0
-    for u in range(n):
-        row = dst[indptr[u]: indptr[u + 1]]
-        if row.size < 2:
-            continue
-        starts, ends = indptr[row], indptr[row + 1]
-        chunks = [dst[s:e] for s, e in zip(starts, ends) if e > s]
-        if not chunks:
-            continue
-        targets = np.concatenate(chunks)
-        counters.add_edges(targets.size + row.size)
-        position = np.searchsorted(row, targets)
-        position[position == row.size] = 0
-        total += int((row[position] == targets).sum())
+    total, examined = count_forward_triangles(indptr, dst)
+    counters.add_edges(examined)
     return total

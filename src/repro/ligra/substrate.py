@@ -27,6 +27,7 @@ import numpy as np
 
 from ..core import counters
 from ..graphs import CSRGraph
+from ..la import gather_edges, unique_ids
 
 __all__ = ["VertexSubset", "edge_map", "vertex_map", "EDGE_MAP_THRESHOLD"]
 
@@ -49,7 +50,7 @@ class VertexSubset:
 
     @classmethod
     def from_ids(cls, n: int, ids: np.ndarray) -> "VertexSubset":
-        return cls(n, ids=np.unique(np.asarray(ids, dtype=np.int64)))
+        return cls(n, ids=unique_ids(np.asarray(ids, dtype=np.int64), n))
 
     @classmethod
     def from_dense(cls, flags: np.ndarray) -> "VertexSubset":
@@ -90,20 +91,6 @@ class VertexSubset:
         return f"VertexSubset(n={self.n}, size={self.size()})"
 
 
-def _expand(indptr: np.ndarray, indices: np.ndarray, vertices: np.ndarray):
-    starts = indptr[vertices]
-    spans = indptr[vertices + 1] - starts
-    total = int(spans.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty
-    owners = np.repeat(vertices, spans)
-    offsets = np.arange(total, dtype=np.int64)
-    begin = np.repeat(np.cumsum(spans) - spans, spans)
-    flat = np.repeat(starts, spans) + (offsets - begin)
-    return owners, indices[flat]
-
-
 def edge_map(
     graph: CSRGraph,
     subset: VertexSubset,
@@ -127,13 +114,13 @@ def edge_map(
         candidates = np.arange(graph.num_vertices, dtype=np.int64)
         if cond is not None:
             candidates = candidates[cond(candidates)]
-        targets, sources = _expand(graph.in_indptr, graph.in_indices, candidates)
+        targets, sources = gather_edges(graph.in_indptr, graph.in_indices, candidates)
         counters.add_edges(sources.size)
         in_frontier = subset.dense()[sources]
         sources, targets = sources[in_frontier], targets[in_frontier]
     else:
         counters.note("edge_map_sparse")
-        sources, targets = _expand(graph.indptr, graph.indices, frontier)
+        sources, targets = gather_edges(graph.indptr, graph.indices, frontier)
         counters.add_edges(targets.size)
         if cond is not None and targets.size:
             keep = cond(targets)

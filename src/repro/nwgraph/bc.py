@@ -14,6 +14,7 @@ import numpy as np
 
 from ..core import counters
 from ..graphs import CSRGraph
+from ..la import unique_ids
 from ..ranges import AdjacencyView
 
 __all__ = ["nwgraph_bc"]
@@ -41,7 +42,7 @@ def nwgraph_bc(graph: CSRGraph, sources: np.ndarray) -> np.ndarray:
             depth[tgts[fresh_mask]] = level + 1
             on_next = depth[tgts] == level + 1
             np.add.at(sigma, tgts[on_next], sigma[srcs[on_next]])
-            frontier = np.unique(tgts[fresh_mask])
+            frontier = unique_ids(tgts[fresh_mask], n)
             if frontier.size:
                 levels.append(frontier)
             level += 1

@@ -15,6 +15,7 @@ import numpy as np
 from ..core import counters
 from ..core.bitmap import Bitmap
 from ..graphs import CSRGraph
+from ..la import claim_first_writer
 from ..ranges import AdjacencyView
 
 __all__ = ["nwgraph_bfs"]
@@ -50,9 +51,7 @@ def nwgraph_bfs(graph: CSRGraph, source: int) -> np.ndarray:
             srcs, tgts = srcs[hits], tgts[hits]
             if srcs.size == 0:
                 break
-            fresh, first = np.unique(srcs, return_index=True)
-            parents[fresh] = tgts[first]
-            frontier = fresh
+            frontier = claim_first_writer(parents, srcs, tgts, n)
         else:
             srcs, tgts = out_view.expand(frontier)
             counters.add_edges(tgts.size)
@@ -60,7 +59,5 @@ def nwgraph_bfs(graph: CSRGraph, source: int) -> np.ndarray:
             srcs, tgts = srcs[unclaimed], tgts[unclaimed]
             if tgts.size == 0:
                 break
-            fresh, first = np.unique(tgts, return_index=True)
-            parents[fresh] = srcs[first]
-            frontier = fresh
+            frontier = claim_first_writer(parents, tgts, srcs, n)
     return parents

@@ -13,6 +13,7 @@ import numpy as np
 
 from ..core import counters
 from ..graphs import CSRGraph
+from ..la import unique_ids
 from ..ranges import AdjacencyView
 
 __all__ = ["nwgraph_sssp"]
@@ -46,7 +47,7 @@ def nwgraph_sssp(graph: CSRGraph, source: int, delta: int = 16) -> np.ndarray:
             if tgts.size == 0:
                 continue
             np.minimum.at(dist, tgts, candidate)
-            improved = np.unique(tgts)
+            improved = unique_ids(tgts, n)
             landing = (dist[improved] // delta).astype(np.int64)
             for bucket in np.unique(landing):
                 group = improved[landing == bucket]

@@ -22,6 +22,7 @@ import scipy.sparse as sp
 
 from ..core import counters
 from ..errors import DimensionMismatchError
+from ..la.gather import flat_edge_index
 from .matrix import Matrix
 from .ops import PLUS, Semiring
 from .vector import Vector
@@ -33,16 +34,10 @@ def _expand_rows(
     matrix: Matrix, rows: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Gather the CSR entries of ``rows``: (row_of_entry, col, value)."""
-    starts = matrix.indptr[rows]
-    counts = matrix.indptr[rows + 1] - starts
-    total = int(counts.sum())
+    row_ids, flat, total = flat_edge_index(matrix.indptr, rows)
     if total == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty, np.empty(0, dtype=np.float64)
-    row_ids = np.repeat(rows, counts)
-    offsets = np.arange(total, dtype=np.int64)
-    row_begin = np.repeat(np.cumsum(counts) - counts, counts)
-    flat = np.repeat(starts, counts) + (offsets - row_begin)
     values = matrix.value_array()[flat] if not matrix.iso else np.ones(total)
     return row_ids, matrix.indices[flat], values
 
@@ -72,7 +67,9 @@ def vxm(
         cols, z = cols[allowed], np.asarray(z)[allowed]
         if cols.size == 0:
             return Vector.empty(matrix.ncols)
-    out_idx, out_vals = sr.add.segment_reduce(cols, np.asarray(z, dtype=np.float64))
+    out_idx, out_vals = sr.add.segment_reduce(
+        cols, np.asarray(z, dtype=np.float64), domain=matrix.ncols
+    )
     return Vector.from_entries(matrix.ncols, out_idx, out_vals)
 
 
@@ -128,7 +125,9 @@ def mxv(
         return Vector.empty(matrix.nrows)
     y = u.values_at(cols)
     z = sr.multiply.apply(a_vals, y, ix=row_ids, iy=cols)
-    out_idx, out_vals = sr.add.segment_reduce(row_ids, np.asarray(z, dtype=np.float64))
+    out_idx, out_vals = sr.add.segment_reduce(
+        row_ids, np.asarray(z, dtype=np.float64), domain=matrix.nrows
+    )
     return Vector.from_entries(matrix.nrows, out_idx, out_vals)
 
 

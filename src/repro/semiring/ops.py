@@ -25,6 +25,8 @@ from typing import Callable
 import numpy as np
 
 from ..errors import InvalidValueError
+from ..la import config as la_config
+from ..la.frontier import first_occurrence_mask
 
 __all__ = [
     "BinaryOp",
@@ -98,16 +100,23 @@ class Monoid:
         return self.reducer is None
 
     def segment_reduce(
-        self, keys: np.ndarray, values: np.ndarray
+        self, keys: np.ndarray, values: np.ndarray, domain: int | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Reduce ``values`` grouped by ``keys``; returns (unique_keys, reduced).
 
         Keys need not be sorted.  For ANY, the first occurrence per key wins
-        (any member is a valid answer by definition).
+        (any member is a valid answer by definition).  ``domain`` (the key
+        universe size, when the caller knows it) lets ANY use the substrate's
+        sort-free first-occurrence scan instead of ``np.unique``.
         """
         if keys.size == 0:
             return keys, values
         if self.is_any:
+            if domain is not None and la_config.enabled():
+                mask = first_occurrence_mask(keys, domain)
+                out_keys, out_vals = keys[mask], values[mask]
+                order = np.argsort(out_keys)  # k log k on unique keys only
+                return out_keys[order], out_vals[order]
             unique, first = np.unique(keys, return_index=True)
             return unique, values[first]
         order = np.argsort(keys, kind="stable")

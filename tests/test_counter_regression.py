@@ -65,3 +65,44 @@ def test_counters_isolated_between_runs(case, source):
         framework.bfs(case.graph, source, RunContext())
     assert second.edges_examined == first.edges_examined
     assert second.rounds == first.rounds
+
+
+class TestEarlyExitPull:
+    """The optimized pull step must report *less* work, not different answers.
+
+    ``gapbs.bfs.pull_step`` historically scanned every unvisited vertex's
+    whole in-adjacency even after finding a frontier parent.  The substrate's
+    chunked early exit stops each row at its first hit; these pins assert the
+    parents are identical and the edge count strictly drops (the whole point
+    of the optimization), and that Baseline mode keeps full-scan counts.
+    """
+
+    def test_early_exit_same_parents_fewer_edges(self, case, source):
+        from repro.gapbs.bfs import direction_optimizing_bfs
+
+        with counters.counting() as full:
+            parents_full = direction_optimizing_bfs(
+                case.graph, source, pull_early_exit=False
+            )
+        with counters.counting() as fast:
+            parents_fast = direction_optimizing_bfs(
+                case.graph, source, pull_early_exit=True
+            )
+        assert (parents_full == parents_fast).all()
+        assert fast.rounds == full.rounds
+        assert fast.edges_examined < full.edges_examined, (
+            "early-exit pull must strictly reduce edges examined on kron "
+            f"(got {fast.edges_examined} vs full {full.edges_examined})"
+        )
+
+    def test_mode_selects_scan_policy(self, case, source):
+        from repro.frameworks import Mode
+
+        framework = get("gap")
+        with counters.counting() as baseline:
+            framework.bfs(case.graph, source, RunContext(mode=Mode.BASELINE))
+        with counters.counting() as optimized:
+            framework.bfs(case.graph, source, RunContext(mode=Mode.OPTIMIZED))
+        # Baseline keeps the paper-parity full scan; Optimized may not
+        # exceed it and on kron must beat it.
+        assert optimized.edges_examined < baseline.edges_examined

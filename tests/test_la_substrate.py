@@ -1,0 +1,330 @@
+"""Unit suite for the shared linear-algebra substrate (``repro.la``).
+
+Every primitive ships two engines — the optimized path and the verbatim
+pre-port reference — switched by :mod:`repro.la.config`.  This suite pins
+that the two engines are observationally identical on the cases that
+matter (empty/full frontiers, int32/int64 CSR dtypes, structural and
+complement masks), that the semiring paths satisfy the algebraic laws the
+kernels rely on, and that the early-exit pull examines strictly fewer
+edges while claiming identical parents.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GraphCase
+from repro.la import (
+    ALPHA,
+    BETA,
+    DirectionOptimizer,
+    enabled,
+    frontier_spmv,
+    gather_edges,
+    gather_edges_weighted,
+    is_full_range,
+    masked_pull_claim,
+    plus_times_operator,
+    set_enabled,
+    spmv_min_plus,
+    use_substrate,
+)
+from repro.la.gather import _flat_edge_index, _reference_flat_edge_index
+from repro.semiring.ops import ANY_SECONDI, MIN_PLUS, PLUS_TIMES
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return GraphCase.build("kron", scale=7).graph
+
+
+@pytest.fixture(scope="module")
+def road():
+    return GraphCase.build("road", scale=7).weighted
+
+
+def _csr(dtype):
+    """A small fixed CSR: 5 vertices, ragged rows including an empty one."""
+    indptr = np.array([0, 2, 5, 5, 6, 8], dtype=dtype)
+    indices = np.array([1, 3, 0, 2, 4, 4, 1, 2], dtype=dtype)
+    weights = np.arange(1, 9, dtype=np.float64)
+    return indptr, indices, weights
+
+
+class TestConfig:
+    def test_toggle_restores(self):
+        before = enabled()
+        with use_substrate(False):
+            assert not enabled()
+            with use_substrate(True):
+                assert enabled()
+            assert not enabled()
+        assert enabled() == before
+
+    def test_set_enabled_returns_previous(self):
+        previous = set_enabled(False)
+        try:
+            assert previous == True or previous == False
+            assert not enabled()
+        finally:
+            set_enabled(previous)
+
+
+class TestGather:
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64])
+    def test_matches_reference(self, dtype):
+        indptr, indices, weights = _csr(dtype)
+        rows = np.array([0, 1, 2, 4], dtype=dtype)
+        with use_substrate(True):
+            src_o, tgt_o = gather_edges(indptr, indices, rows)
+        with use_substrate(False):
+            src_r, tgt_r = gather_edges(indptr, indices, rows)
+        np.testing.assert_array_equal(src_o, src_r)
+        np.testing.assert_array_equal(tgt_o, tgt_r)
+
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64])
+    def test_weighted_matches_reference(self, dtype):
+        indptr, indices, weights = _csr(dtype)
+        rows = np.array([1, 3], dtype=dtype)
+        with use_substrate(True):
+            out_o = gather_edges_weighted(indptr, indices, weights, rows)
+        with use_substrate(False):
+            out_r = gather_edges_weighted(indptr, indices, weights, rows)
+        for a, b in zip(out_o, out_r):
+            np.testing.assert_array_equal(a, b)
+
+    def test_empty_frontier(self):
+        indptr, indices, _ = _csr(np.int64)
+        for flag in (True, False):
+            with use_substrate(flag):
+                src, tgt = gather_edges(indptr, indices, np.empty(0, dtype=np.int64))
+            assert src.size == 0 and tgt.size == 0
+
+    def test_empty_rows_only(self):
+        indptr, indices, _ = _csr(np.int64)
+        src, tgt = gather_edges(indptr, indices, np.array([2], dtype=np.int64))
+        assert src.size == 0 and tgt.size == 0
+
+    def test_full_range_fast_path_is_view(self):
+        indptr, indices, weights = _csr(np.int64)
+        rows = np.arange(5, dtype=np.int64)
+        with use_substrate(True):
+            src, tgt, w = gather_edges_weighted(indptr, indices, weights, rows)
+        assert tgt is indices and w is weights
+        np.testing.assert_array_equal(src, np.repeat(rows, np.diff(indptr)))
+
+    def test_is_full_range(self):
+        assert is_full_range(np.arange(5, dtype=np.int64), 5)
+        assert not is_full_range(np.arange(4, dtype=np.int64), 5)
+        assert not is_full_range(np.array([0, 1, 2, 3, 3]), 5)
+        assert is_full_range(np.empty(0, dtype=np.int64), 0)
+
+    def test_flat_index_engines_agree_on_graph(self, kron):
+        rows = np.flatnonzero(np.diff(kron.indptr) > 0)[::3]
+        o = _flat_edge_index(kron.indptr, rows)
+        r = _reference_flat_edge_index(kron.indptr, rows)
+        np.testing.assert_array_equal(o[0], r[0])
+        np.testing.assert_array_equal(o[1], r[1])
+        assert o[2] == r[2]
+
+
+class TestPlusTimes:
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_matches_dense_product(self, weighted):
+        indptr, indices, weights = _csr(np.int64)
+        data = weights if weighted else None
+        x = np.array([0.5, -1.0, 2.0, 0.0, 3.0])
+        dense = np.zeros((5, 5))
+        for row in range(5):
+            for pos in range(indptr[row], indptr[row + 1]):
+                dense[row, indices[pos]] += data[pos] if weighted else 1.0
+        for flag in (True, False):
+            with use_substrate(flag):
+                op = plus_times_operator(indptr, indices, data)
+                np.testing.assert_allclose(op(x), dense @ x, atol=1e-12)
+
+    def test_distributes_over_addition(self):
+        """(+, x) law the PageRank sweep relies on: A(x + y) = Ax + Ay."""
+        indptr, indices, _ = _csr(np.int64)
+        op = plus_times_operator(indptr, indices)
+        rng = np.random.default_rng(0)
+        x, y = rng.random(5), rng.random(5)
+        np.testing.assert_allclose(op(x + y), op(x) + op(y), atol=1e-12)
+
+
+class TestMinPlus:
+    def test_matches_dense_tropical(self):
+        indptr, indices, weights = _csr(np.int64)
+        x = np.array([0.0, 1.0, np.inf, 2.0, 0.5])
+        expected = np.full(5, np.inf)
+        for row in range(5):
+            for pos in range(indptr[row], indptr[row + 1]):
+                expected[row] = min(expected[row], weights[pos] + x[indices[pos]])
+        for flag in (True, False):
+            with use_substrate(flag):
+                got = spmv_min_plus(indptr, indices, weights, x)
+            np.testing.assert_array_equal(got, expected)
+
+    def test_empty_matrix(self):
+        indptr = np.zeros(4, dtype=np.int64)
+        got = spmv_min_plus(indptr, np.empty(0, dtype=np.int64), np.empty(0), np.zeros(3))
+        assert np.all(np.isinf(got))
+
+    def test_inf_identity_absorbed(self):
+        """min's identity: an unreachable source never improves a row."""
+        indptr, indices, weights = _csr(np.int64)
+        x = np.full(5, np.inf)
+        got = spmv_min_plus(indptr, indices, weights, x)
+        assert np.all(np.isinf(got))
+
+
+class TestFrontierSpmv:
+    def _one_hop(self, graph, frontier_ids):
+        x = np.zeros(graph.num_vertices)
+        x[frontier_ids] = 1.0
+        return frontier_spmv(
+            graph.indptr, graph.indices, frontier_ids, x, PLUS_TIMES
+        )
+
+    def test_plus_times_counts_in_edges(self, kron):
+        frontier = np.array([0, 1, 2], dtype=np.int64)
+        ids, vals, examined = self._one_hop(kron, frontier)
+        deg = np.diff(kron.indptr)
+        assert examined == int(deg[frontier].sum())
+        # y[t] = number of frontier in-neighbors of t.
+        src, tgt = gather_edges(kron.indptr, kron.indices, frontier)
+        expected = np.bincount(tgt, minlength=kron.num_vertices)
+        got = np.zeros(kron.num_vertices)
+        got[ids] = vals
+        np.testing.assert_allclose(got, expected)
+
+    def test_any_secondi_adopts_a_frontier_parent(self, kron):
+        frontier = np.array([0, 5], dtype=np.int64)
+        x = np.zeros(kron.num_vertices)
+        ids, parents, _ = frontier_spmv(
+            kron.indptr, kron.indices, frontier, x, ANY_SECONDI
+        )
+        assert np.all(np.isin(parents.astype(np.int64), frontier))
+
+    def test_structural_and_complement_masks(self, kron):
+        frontier = np.array([0, 1], dtype=np.int64)
+        x = np.zeros(kron.num_vertices)
+        mask = np.zeros(kron.num_vertices, dtype=bool)
+        src, tgt = gather_edges(kron.indptr, kron.indices, frontier)
+        half = np.unique(tgt)[: max(1, np.unique(tgt).size // 2)]
+        mask[half] = True
+        inside, _, _ = frontier_spmv(
+            kron.indptr, kron.indices, frontier, x, ANY_SECONDI, mask_bits=mask
+        )
+        outside, _, _ = frontier_spmv(
+            kron.indptr, kron.indices, frontier, x, ANY_SECONDI,
+            mask_bits=mask, complement=True,
+        )
+        assert np.all(mask[inside])
+        assert not np.any(mask[outside])
+        both = np.union1d(inside, outside)
+        unmasked, _, _ = frontier_spmv(
+            kron.indptr, kron.indices, frontier, x, ANY_SECONDI
+        )
+        np.testing.assert_array_equal(both, unmasked)
+
+    def test_min_plus_relaxation(self, road):
+        frontier = np.array([0], dtype=np.int64)
+        dist = np.full(road.num_vertices, np.inf)
+        dist[0] = 0.0
+        ids, vals, _ = frontier_spmv(
+            road.indptr, road.indices, frontier, dist, MIN_PLUS,
+            weights=road.weights,
+        )
+        for t, v in zip(ids, vals):
+            row = slice(road.indptr[0], road.indptr[1])
+            candidates = [
+                road.weights[p] for p in range(road.indptr[0], road.indptr[1])
+                if road.indices[p] == t
+            ]
+            assert v == min(candidates)
+
+    def test_empty_frontier(self, kron):
+        ids, vals, examined = self._one_hop(kron, np.empty(0, dtype=np.int64))
+        assert ids.size == 0 and vals.size == 0 and examined == 0
+
+
+class TestMaskedPullClaim:
+    def _setup(self, graph, frontier_ids):
+        parents = np.full(graph.num_vertices, -1, dtype=np.int64)
+        parents[frontier_ids] = frontier_ids
+        bits = np.zeros(graph.num_vertices, dtype=bool)
+        bits[frontier_ids] = True
+        unvisited = np.flatnonzero(parents < 0)
+        return parents, bits, unvisited
+
+    @pytest.mark.parametrize("graph_name", ["kron", "road"])
+    def test_early_exit_matches_full_scan_with_fewer_edges(self, graph_name):
+        graph = GraphCase.build(graph_name, scale=7).graph
+        frontier = np.arange(0, graph.num_vertices, 3, dtype=np.int64)
+        parents_full, bits, unvisited = self._setup(graph, frontier)
+        fresh_full, edges_full = masked_pull_claim(
+            graph.in_indptr, graph.in_indices, unvisited, bits,
+            parents_full, early_exit=False,
+        )
+        parents_fast, bits, unvisited = self._setup(graph, frontier)
+        fresh_fast, edges_fast = masked_pull_claim(
+            graph.in_indptr, graph.in_indices, unvisited, bits,
+            parents_fast, early_exit=True,
+        )
+        np.testing.assert_array_equal(fresh_full, fresh_fast)
+        np.testing.assert_array_equal(parents_full, parents_fast)
+        assert edges_fast <= edges_full
+        # With a third of all vertices in the frontier most rows hit early.
+        assert edges_fast < edges_full
+
+    def test_adopted_parent_is_first_frontier_in_neighbor(self, kron):
+        frontier = np.array([0, 1, 2, 3], dtype=np.int64)
+        parents, bits, unvisited = self._setup(kron, frontier)
+        fresh, _ = masked_pull_claim(
+            kron.in_indptr, kron.in_indices, unvisited, bits, parents
+        )
+        for v in fresh[:50]:
+            row = kron.in_indices[kron.in_indptr[v]: kron.in_indptr[v + 1]]
+            in_frontier = row[bits[row]]
+            assert parents[v] == in_frontier[0]
+
+    def test_empty_unvisited(self, kron):
+        parents = np.arange(kron.num_vertices, dtype=np.int64)
+        bits = np.ones(kron.num_vertices, dtype=bool)
+        fresh, examined = masked_pull_claim(
+            kron.in_indptr, kron.in_indices,
+            np.empty(0, dtype=np.int64), bits, parents,
+        )
+        assert fresh.size == 0 and examined == 0
+
+
+class TestDirectionOptimizer:
+    def test_beamer_constants(self):
+        assert ALPHA == 15 and BETA == 18
+
+    def test_pull_trigger_matches_legacy_inequality(self):
+        policy = DirectionOptimizer(num_vertices=100, num_edges=1000)
+        # Legacy: scout > max(edges_remaining, 1) // ALPHA
+        assert not policy.wants_pull(1000 // ALPHA)
+        assert policy.wants_pull(1000 // ALPHA + 1)
+
+    def test_charge_decrements_remaining(self):
+        policy = DirectionOptimizer(num_vertices=10, num_edges=50)
+        policy.charge(30)
+        assert policy.edges_remaining == 20
+        # Remaining can go negative; the max(..., 1) guard keeps pull armed.
+        policy.charge(40)
+        assert policy.wants_pull(1)
+
+    def test_frontier_is_small_boundary(self):
+        policy = DirectionOptimizer(num_vertices=180, num_edges=1000)
+        # Legacy loop pulls while frontier.size > n // BETA, i.e. resumes
+        # pushing at size <= n // BETA.
+        assert policy.frontier_is_small(180 // BETA)
+        assert not policy.frontier_is_small(180 // BETA + 1)
+
+    def test_lagraph_variant_triggers_on_either(self):
+        policy = DirectionOptimizer(num_vertices=180, num_edges=1000)
+        assert policy.lagraph_wants_pull(scout=0, frontier_size=11)
+        assert not policy.lagraph_wants_pull(scout=0, frontier_size=10)
+        assert policy.lagraph_wants_pull(scout=67, frontier_size=0)
