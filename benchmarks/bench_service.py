@@ -1,0 +1,257 @@
+"""Service bench: memoization hit rate and cached-read latency under load.
+
+The benchmark server's value proposition is that a campaign cell is
+executed once, ever, and every later submission streams it from the
+archive at interactive latency.  This bench is the proof and the gate:
+
+* **seed** — a set of distinct small campaigns is submitted once; every
+  cell is a miss and executes through the warm pool.
+* **correctness** — each campaign is re-submitted and must come back
+  100% cached, with zero cells executed and *byte-identical* result
+  payloads (canonical JSON comparison against the seed pass).
+* **load** — a fleet of closed-loop clients (persistent HTTP
+  connections, like a CI farm hammering one memo server) re-submits the
+  seeded campaigns continuously; every submission is end-to-end timed
+  (request written → terminal ``done`` event read).  The gate checks the
+  overall hit rate and the p95 cached-read latency.
+
+Defaults: 32 concurrent clients, >= 1000 total submissions, gate at
+>= 90% hit rate and p95 < 50 ms.  (The fleet size is tuned for CI-class
+single-CPU boxes, where clients and server share one core *and* one
+GIL; closed-loop latency there is queueing delay — roughly
+clients/throughput — so doubling the fleet doubles p50 without changing
+what the server can do.)  Run directly for a JSON summary (also
+written to ``BENCH_service.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --fail-below-hitrate 0.9 --fail-p95-ms 50
+
+or under pytest for a reduced smoke (tier2; not part of the tier-1
+suite)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import BenchmarkService, CampaignRequest, ServiceClient, ServiceHTTPServer
+from repro.store import bench_payload, write_json_atomic
+from repro.store.environment import fingerprint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Distinct small campaigns: realistic submission variety (different
+#: kernel subsets and frameworks) over a shared cell population, so the
+#: load phase exercises both whole-campaign and per-cell dedup.
+CAMPAIGNS = [
+    {"graphs": "urand", "kernels": "bfs,cc", "frameworks": "gap", "modes": "baseline", "scale": 6},
+    {"graphs": "urand", "kernels": "pr", "frameworks": "gap,suitesparse", "modes": "baseline", "scale": 6},
+    {"graphs": "urand", "kernels": "bfs,pr", "frameworks": "suitesparse", "modes": "baseline,optimized", "scale": 6},
+    {"graphs": "kron", "kernels": "bfs,cc", "frameworks": "gap", "modes": "baseline", "scale": 6},
+    {"graphs": "kron", "kernels": "cc,pr", "frameworks": "gap,suitesparse", "modes": "optimized", "scale": 6},
+    {"graphs": "road", "kernels": "bfs,sssp", "frameworks": "gap", "modes": "baseline", "scale": 6},
+    {"graphs": "road", "kernels": "sssp", "frameworks": "gap,suitesparse", "modes": "baseline,optimized", "scale": 6},
+    {"graphs": "web", "kernels": "bfs,cc,pr", "frameworks": "gap", "modes": "baseline", "scale": 6},
+]
+
+
+def _canonical_cells(events: list[dict]) -> str:
+    cells = sorted(
+        (event for event in events if event["event"] == "cell"),
+        key=lambda event: tuple(event["cell"]),
+    )
+    return json.dumps(
+        [[cell["cell"], cell["result"]] for cell in cells], sort_keys=True
+    )
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_bench(
+    clients: int = 32,
+    submissions: int = 1024,
+    client_timeout: float = 120.0,
+) -> dict[str, object]:
+    """Seed, verify, and load one in-process service; returns the payload."""
+    tmp = Path(tempfile.mkdtemp(prefix="repro-bench-service-"))
+    service = BenchmarkService(
+        archive_dir=tmp / "archive", cache_dir=tmp / "graphs", jobs=1
+    )
+    server = ServiceHTTPServer(("127.0.0.1", 0), service)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    requests = [CampaignRequest.from_dict(payload) for payload in CAMPAIGNS]
+
+    try:
+        # -- seed: every campaign once; all cells are misses -------------
+        seed_payloads: list[str] = []
+        seed_started = time.perf_counter()
+        with ServiceClient(host, port, timeout=client_timeout) as client:
+            for request in requests:
+                events = client.submit_and_collect(request)
+                assert events[-1]["event"] == "done", events[-1]
+                seed_payloads.append(_canonical_cells(events))
+        seed_seconds = time.perf_counter() - seed_started
+        seeded_cells = service.stats["cells_executed"]
+
+        # -- correctness: re-submission is byte-identical, zero executed -
+        with ServiceClient(host, port, timeout=client_timeout) as client:
+            for request, expected in zip(requests, seed_payloads):
+                events = client.submit_and_collect(request)
+                assert events[-1]["executed"] == 0, (
+                    f"re-submission executed {events[-1]['executed']} cells"
+                )
+                assert _canonical_cells(events) == expected, (
+                    "cached results are not byte-identical to the seed pass"
+                )
+        assert service.stats["cells_executed"] == seeded_cells
+
+        # -- load: closed-loop client fleet over persistent connections --
+        latencies: list[list[float]] = [[] for _ in range(clients)]
+        errors: list[str] = []
+        per_client = submissions // clients
+        barrier = threading.Barrier(clients + 1)
+
+        def drive(slot: int) -> None:
+            try:
+                with ServiceClient(host, port, timeout=client_timeout) as client:
+                    client.healthz()  # open the connection outside the timed loop
+                    barrier.wait()
+                    for n in range(per_client):
+                        request = requests[(slot + n) % len(requests)]
+                        started = time.perf_counter()
+                        events = client.submit_and_collect(request)
+                        latencies[slot].append(time.perf_counter() - started)
+                        if events[-1]["event"] != "done" or events[-1]["executed"]:
+                            errors.append(f"client {slot}: {events[-1]}")
+            except Exception as exc:  # noqa: BLE001 - report, don't hang
+                errors.append(f"client {slot}: {type(exc).__name__}: {exc}")
+                try:
+                    barrier.wait(timeout=1.0)
+                except threading.BrokenBarrierError:
+                    pass
+
+        threads = [
+            threading.Thread(target=drive, args=(slot,), daemon=True)
+            for slot in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        load_started = time.perf_counter()
+        for thread in threads:
+            thread.join(timeout=600.0)
+        load_seconds = time.perf_counter() - load_started
+        assert not errors, errors[:5]
+
+        flat = [sample for bucket in latencies for sample in bucket]
+        assert len(flat) == per_client * clients
+        status = service.status()
+        return {
+            "environment": fingerprint(),
+            "config": {
+                "clients": clients,
+                "submissions": len(flat) + 2 * len(requests),
+                "load_submissions": len(flat),
+                "campaigns": len(requests),
+                "seeded_cells": seeded_cells,
+                "scale": 6,
+            },
+            "seed": {
+                "wall_seconds": round(seed_seconds, 4),
+                "cells_executed": seeded_cells,
+            },
+            "correctness": {
+                "resubmission_byte_identical": True,
+                "resubmission_cells_executed": 0,
+            },
+            "load": {
+                "wall_seconds": round(load_seconds, 4),
+                "submissions_per_second": round(len(flat) / load_seconds, 1),
+                "latency_ms": {
+                    "p50": round(_percentile(flat, 0.50) * 1e3, 3),
+                    "p95": round(_percentile(flat, 0.95) * 1e3, 3),
+                    "p99": round(_percentile(flat, 0.99) * 1e3, 3),
+                    "mean": round(statistics.fmean(flat) * 1e3, 3),
+                    "max": round(max(flat) * 1e3, 3),
+                },
+            },
+            "hit_rate": status["hit_rate"],
+            "cells_requested": status["cells_requested"],
+            "cells_executed": status["cells_executed"],
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.shutdown()
+
+
+@pytest.mark.tier2
+def test_service_bench_smoke():
+    """Reduced load: the memoization and latency story holds end to end."""
+    data = run_bench(clients=8, submissions=64)
+    assert data["correctness"]["resubmission_byte_identical"]
+    assert data["hit_rate"] >= 0.5  # seed misses dominate the tiny sample
+    assert data["load"]["latency_ms"]["p95"] < 250.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=32)
+    parser.add_argument("--submissions", type=int, default=1024)
+    parser.add_argument(
+        "--fail-below-hitrate", type=float, default=None, metavar="FRACTION",
+        help="exit non-zero when the overall hit rate is below this",
+    )
+    parser.add_argument(
+        "--fail-p95-ms", type=float, default=None, metavar="MS",
+        help="exit non-zero when cached-read p95 latency exceeds this",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_service.json"), metavar="PATH",
+    )
+    args = parser.parse_args(argv)
+    data = run_bench(clients=args.clients, submissions=args.submissions)
+    payload = bench_payload("service", data)
+    write_json_atomic(args.out, payload)
+    print(json.dumps(payload, indent=2))
+    failed = False
+    if (
+        args.fail_below_hitrate is not None
+        and data["hit_rate"] < args.fail_below_hitrate
+    ):
+        print(
+            f"FAIL: hit rate {data['hit_rate']:.3f} < {args.fail_below_hitrate}",
+            file=sys.stderr,
+        )
+        failed = True
+    if (
+        args.fail_p95_ms is not None
+        and data["load"]["latency_ms"]["p95"] > args.fail_p95_ms
+    ):
+        print(
+            f"FAIL: p95 {data['load']['latency_ms']['p95']}ms > {args.fail_p95_ms}ms",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,13 @@ Subcommands::
     python -m repro diff --baseline REF [--candidate REF]
     python -m repro gate --baseline REF --results results.json
                          [--fail-on-regression] [--promote] [--out PATH]
+    python -m repro serve [--host H] [--port P] [--jobs N] [--resume]
+                          [--archive-dir DIR] [--cache-dir DIR]
+                          [--journal-dir DIR] [--max-queue N]
+    python -m repro submit --graphs a,b --kernels x,y --frameworks f,g
+                           [--modes m] [--scale N] [--seed N]
+                           [--server HOST:PORT] [--out results.json]
+    python -m repro status [--server HOST:PORT]
 
 ``run`` executes the benchmark campaign with verification and prints
 Tables IV/V; ``compare`` scores the results against the paper's published
@@ -29,6 +36,10 @@ campaign as markdown.  The ``archive`` / ``history`` / ``diff`` / ``gate``
 family stores every campaign in an append-only archive and statistically
 compares runs — ``gate --fail-on-regression`` exits non-zero when a cell
 regresses beyond the noise threshold (see ``repro.store``).
+
+``serve`` starts the memoizing benchmark server: ``submit`` sends it a
+campaign and streams per-cell results back, re-using every cell the
+archive has already measured (see ``repro.service`` / docs/SERVICE.md).
 
 A REF is a run-id prefix from ``repro history``, the word ``latest``, or
 a path to a results JSON file.
@@ -421,6 +432,129 @@ def _cmd_gate(args: argparse.Namespace) -> int:
     return 1 if args.fail_on_regression else 0
 
 
+def _parse_server(text: str) -> tuple[str, int]:
+    """Split a HOST:PORT (or bare PORT) --server value."""
+    host, _, port = text.rpartition(":")
+    try:
+        return (host or "127.0.0.1", int(port))
+    except ValueError:
+        raise SystemExit(f"--server must be HOST:PORT, got {text!r}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import BenchmarkService
+    from .service.server import serve_forever
+
+    service = BenchmarkService(
+        archive_dir=args.archive_dir,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        journal_dir=args.journal_dir,
+        max_pending_jobs=args.max_queue,
+        resume=args.resume,
+    )
+    for report in service.recovery_report:
+        print(f"recovered: {report}")
+
+    def ready(host: str, port: int) -> None:
+        print(f"repro service listening on http://{host}:{port}", flush=True)
+        print(f"archive: {service.archive.root} ({len(service.index)} cells indexed)", flush=True)
+
+    try:
+        serve_forever(service, host=args.host, port=args.port, ready=ready)
+    except OSError as exc:
+        raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .errors import ServiceError
+    from .service import CampaignRequest, ServiceClient
+
+    try:
+        request = CampaignRequest.from_dict(
+            {
+                "graphs": args.graphs,
+                "kernels": args.kernels,
+                "frameworks": args.frameworks,
+                "modes": args.modes,
+                "scale": args.scale,
+                "seed": args.seed,
+                "trial_timeout": args.timeout,
+            }
+        )
+    except ServiceError as exc:
+        raise SystemExit(f"invalid campaign: {exc}")
+    host, port = _parse_server(args.server)
+    cells: list[dict] = []
+    try:
+        with ServiceClient(host, port, timeout=args.client_timeout) as client:
+            for event in client.submit(request):
+                kind = event.get("event")
+                if kind == "accepted":
+                    print(
+                        f"campaign {event['campaign']}: {event['cells']} cells "
+                        f"({event['hits']} cached, {event['pending']} pending)"
+                    )
+                elif kind == "cell":
+                    cells.append(event)
+                    result = event.get("result") or {}
+                    tag = "cached" if event.get("cached") else "fresh"
+                    best = result.get("trial_seconds") or [None]
+                    label = "/".join(event["cell"])
+                    status = result.get("status", "error")
+                    timing = (
+                        f"{min(t for t in best if t is not None):.4f}s"
+                        if any(t is not None for t in best)
+                        else "-"
+                    )
+                    print(f"  {label:<44} {status:<8} {timing:>10}  [{tag}]")
+                elif kind == "done":
+                    note = (
+                        f"archived as {event['fresh_run_id']}"
+                        if event.get("fresh_run_id")
+                        else "fully served from the archive (nothing executed)"
+                    )
+                    print(
+                        f"done: {event['cells']} cells, {event['hits']} cached, "
+                        f"{event['executed']} executed; {note}"
+                    )
+                elif kind == "error":
+                    print(f"server error: {event.get('message')}", file=sys.stderr)
+                    return 1
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
+    if args.out:
+        from .core.results import RunResult
+
+        results = ResultSet(
+            [
+                RunResult.from_dict(event["result"])
+                for event in cells
+                if event.get("result")
+            ],
+            meta={"request": request.as_dict(), "service": args.server},
+        )
+        results.save_json(args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .errors import ServiceError
+    from .service import ServiceClient
+
+    host, port = _parse_server(args.server)
+    try:
+        with ServiceClient(host, port, timeout=10.0) as client:
+            print(_json.dumps(client.status(), indent=2, default=str))
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
@@ -655,6 +789,73 @@ def main(argv: list[str] | None = None) -> int:
     )
     gate_parser.add_argument("--archive-dir", default=None, metavar="DIR")
     gate_parser.set_defaults(fn=_cmd_gate)
+
+    serve_parser = sub.add_parser(
+        "serve", help="start the memoizing benchmark server"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=_nonnegative_int, default=8585,
+        help="listen port (0 = pick an ephemeral port and print it)",
+    )
+    serve_parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes in the shared warm pool",
+    )
+    serve_parser.add_argument(
+        "--archive-dir", default=None, metavar="DIR",
+        help="archive root backing the cell index "
+        "(default: $REPRO_ARCHIVE_DIR or results/archive)",
+    )
+    serve_parser.add_argument("--cache-dir", default=None, metavar="DIR")
+    serve_parser.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help="where per-campaign crash journals live "
+        "(default: ARCHIVE/journals)",
+    )
+    serve_parser.add_argument(
+        "--max-queue", type=_positive_int, default=16, metavar="N",
+        help="campaigns allowed to wait for the engine before submissions "
+        "are rejected",
+    )
+    serve_parser.add_argument(
+        "--resume", action="store_true",
+        help="on startup, archive and index completed cells from journals "
+        "left behind by a crashed server",
+    )
+    serve_parser.set_defaults(fn=_cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a campaign to a running server"
+    )
+    submit_parser.add_argument("--graphs", required=True)
+    submit_parser.add_argument("--kernels", required=True)
+    submit_parser.add_argument("--frameworks", required=True)
+    submit_parser.add_argument("--modes", default="baseline,optimized")
+    submit_parser.add_argument("--scale", type=int, default=10)
+    submit_parser.add_argument("--seed", type=int, default=0)
+    submit_parser.add_argument(
+        "--timeout", type=_positive_float, default=None, metavar="SECONDS",
+        help="per-trial deadline, part of the campaign identity",
+    )
+    submit_parser.add_argument(
+        "--server", default="127.0.0.1:8585", metavar="HOST:PORT",
+    )
+    submit_parser.add_argument(
+        "--client-timeout", type=_positive_float, default=3600.0,
+        metavar="SECONDS", help="socket timeout while streaming results",
+    )
+    submit_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="save the streamed cells as a results JSON file",
+    )
+    submit_parser.set_defaults(fn=_cmd_submit)
+
+    status_parser = sub.add_parser("status", help="query a running server")
+    status_parser.add_argument(
+        "--server", default="127.0.0.1:8585", metavar="HOST:PORT",
+    )
+    status_parser.set_defaults(fn=_cmd_status)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -155,12 +155,14 @@ class _CampaignState:
         journal: "CheckpointJournal | None",
         strict: bool,
         completed: Mapping[tuple[str, str, str, str], RunResult] | None,
+        on_result: Callable[[Cell, RunResult], None] | None = None,
     ) -> None:
         self.cells = cells
         self.spec = spec
         self.tel = tel
         self.journal = journal
         self.strict = strict
+        self.on_result = on_result
         self.policy = RetryPolicy(retries=spec.retries)
         self.breaker = CircuitBreaker(spec.breaker_threshold)
         self.results_by_index: dict[int, RunResult] = {}
@@ -207,6 +209,8 @@ class _CampaignState:
         )
         if self.journal is not None:
             self.journal.record(result)
+        if self.on_result is not None:
+            self.on_result(cell, result)
 
     def prune_open_batches(self) -> None:
         """Strip newly opened combos out of still-queued batches.
@@ -243,6 +247,10 @@ class _CampaignState:
         opened = self.breaker.record(cell.framework, cell.kernel, result.ok)
         if self.journal is not None:
             self.journal.record(result)
+        if self.on_result is not None:
+            # After the journal append: a streamed result is always at
+            # least as durable as what a resume would reconstruct.
+            self.on_result(cell, result)
         if opened:
             self.prune_open_batches()
 
@@ -304,6 +312,7 @@ def run_suite_parallel(
     journal: "CheckpointJournal | None" = None,
     completed: Mapping[tuple[str, str, str, str], RunResult] | None = None,
     pool: WorkerPool | None = None,
+    on_result: Callable[[Cell, RunResult], None] | None = None,
 ) -> ResultSet:
     """Run a campaign over a process pool; see the module docstring.
 
@@ -316,6 +325,10 @@ def run_suite_parallel(
     ``completed`` (cell key → result, from a resumed journal) pre-fills
     those cells — they are neither re-executed nor re-journaled, and
     their graphs are not even exported if no other cell needs them.
+    ``on_result`` is invoked in the parent, once per finalized cell
+    (including breaker skips, excluding pre-filled ``completed`` cells),
+    right after the journal append — the benchmark service streams each
+    cell to subscribed clients from exactly this point.
     """
     spec = spec or BenchmarkSpec()
     tel = telemetry if telemetry is not None else Telemetry()
@@ -327,7 +340,7 @@ def run_suite_parallel(
     if not cells:
         return ResultSet()
 
-    state = _CampaignState(cells, spec, tel, journal, strict, completed)
+    state = _CampaignState(cells, spec, tel, journal, strict, completed, on_result)
     if state.done:
         return state.result_set()
     runnable = state.runnable()
@@ -619,6 +632,7 @@ def run_suite_threads(
     cache: GraphCache | None = None,
     journal: "CheckpointJournal | None" = None,
     completed: Mapping[tuple[str, str, str, str], RunResult] | None = None,
+    on_result: Callable[[Cell, RunResult], None] | None = None,
 ) -> ResultSet:
     """Run a campaign over a pool of worker *threads* (``--pool threads``).
 
@@ -641,7 +655,7 @@ def run_suite_threads(
     if not cells:
         return ResultSet()
 
-    state = _CampaignState(cells, spec, tel, journal, strict, completed)
+    state = _CampaignState(cells, spec, tel, journal, strict, completed, on_result)
     if state.done:
         return state.result_set()
     runnable = state.runnable()

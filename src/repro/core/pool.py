@@ -203,6 +203,11 @@ class WorkerPool:
     def jobs(self) -> int:
         return len(self._slots)
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` ran; a closed pool cannot be reused."""
+        return self._closed
+
     def pids(self) -> dict[int, int | None]:
         """Slot → worker PID (stable across campaigns unless respawned)."""
         return {slot: s["process"].pid for slot, s in self._slots.items()}
@@ -230,6 +235,10 @@ class WorkerPool:
         campaign at full strength.  Frameworks are pickled once here and
         unpickled lazily in workers on first use.
         """
+        if self._closed:
+            # A long-lived owner (the benchmark service) must hear about a
+            # lifecycle bug immediately, not via hung queue operations.
+            raise RuntimeError("WorkerPool is shut down; create a new pool")
         self._seq += 1
         blobs = {name: pickle.dumps(fw) for name, fw in frameworks.items()}
         self._campaign = (spec, dict(handles), blobs, track_memory)

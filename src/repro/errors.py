@@ -68,6 +68,12 @@ class JournalError(ReproError):
     not an error)."""
 
 
+class ServiceError(ReproError):
+    """A benchmark-service operation failed (invalid campaign request,
+    server not reachable, submission rejected, or a protocol violation
+    in the client/server exchange)."""
+
+
 class CampaignAborted(BaseException):
     """The campaign was deliberately terminated (SIGTERM).
 

@@ -77,7 +77,9 @@ class GaloisFramework(Framework):
     def bfs(self, graph: CSRGraph, source: int, ctx: RunContext = RunContext()) -> np.ndarray:
         if self._use_async(graph, ctx):
             return async_bfs(graph, source)
-        return sync_bfs(graph, source)
+        # Optimized runs also stop each pull row at its first frontier
+        # parent (shared early-exit kernel); Baseline keeps the full scan.
+        return sync_bfs(graph, source, pull_early_exit=ctx.optimized)
 
     def sssp(self, graph: CSRGraph, source: int, ctx: RunContext = RunContext()) -> np.ndarray:
         if self._use_async(graph, ctx):

@@ -17,6 +17,7 @@ from ..core.bitmap import Bitmap
 from ..core.nputil import expand_frontier
 from ..graphs import CSRGraph
 from ..la import claim_first_writer
+from ..la.spmv import masked_pull_claim
 from ..worklist import for_each_eager
 
 __all__ = ["sync_bfs", "async_bfs"]
@@ -25,8 +26,16 @@ ALPHA = 15
 BETA = 18
 
 
-def sync_bfs(graph: CSRGraph, source: int) -> np.ndarray:
-    """Bulk-synchronous direction-optimizing BFS (same algorithm as GAP)."""
+def sync_bfs(
+    graph: CSRGraph, source: int, pull_early_exit: bool = False
+) -> np.ndarray:
+    """Bulk-synchronous direction-optimizing BFS (same algorithm as GAP).
+
+    ``pull_early_exit=True`` (Optimized mode) lets each unvisited row stop
+    scanning its in-adjacency at the first frontier parent via the shared
+    ``masked_pull_claim`` kernel; parents are identical either way, only
+    the edges-examined counter shrinks.
+    """
     n = graph.num_vertices
     parents = np.full(n, -1, dtype=np.int64)
     parents[source] = source
@@ -43,14 +52,19 @@ def sync_bfs(graph: CSRGraph, source: int) -> np.ndarray:
             while frontier.size and frontier.size > n // BETA:
                 counters.add_round()
                 unvisited = np.flatnonzero(parents < 0)
-                srcs, tgts = expand_frontier(graph.in_indptr, graph.in_indices, unvisited)
-                counters.add_edges(tgts.size)
-                hits = bits.contains(tgts)
-                srcs, tgts = srcs[hits], tgts[hits]
-                if srcs.size == 0:
+                fresh, examined = masked_pull_claim(
+                    graph.in_indptr,
+                    graph.in_indices,
+                    unvisited,
+                    bits.bits,
+                    parents,
+                    early_exit=pull_early_exit,
+                )
+                counters.add_edges(examined)
+                if fresh.size == 0:
                     frontier = np.empty(0, dtype=np.int64)
                     break
-                frontier = claim_first_writer(parents, srcs, tgts, n)
+                frontier = fresh
                 bits = Bitmap.from_indices(n, frontier)
             if frontier.size == 0:
                 break

@@ -5,7 +5,9 @@ cache, batched (SIMD-analog) set intersection, heuristic-driven relabeling.
 Kernels follow Table III's GKC column: direction-optimizing BFS,
 delta-stepping SSSP, hybrid Shiloach–Vishkin CC, Gauss-Seidel PR, Brandes
 BC, and Lee–Low TC.  The paper's Baseline-to-Optimized delta for GKC came
-from hyperthreading (unmodelled here), so both modes run identically.
+from hyperthreading (unmodelled here); the one modelled Optimized tweak is
+BFS's early-exit pull (each row stops scanning at its first frontier
+parent), everything else runs identically in both modes.
 """
 
 from __future__ import annotations
@@ -61,7 +63,10 @@ class GKCFramework(Framework):
     )
 
     def bfs(self, graph: CSRGraph, source: int, ctx: RunContext = RunContext()) -> np.ndarray:
-        return gkc_bfs(graph, source)
+        # Optimized mode adds the early-exit pull (stop a row's in-adjacency
+        # scan at the first frontier parent — the "no abstraction between
+        # the loop and the data" break the original GKC code performs).
+        return gkc_bfs(graph, source, pull_early_exit=ctx.optimized)
 
     def sssp(self, graph: CSRGraph, source: int, ctx: RunContext = RunContext()) -> np.ndarray:
         return gkc_sssp(graph, source, delta=ctx.delta)

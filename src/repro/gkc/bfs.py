@@ -15,6 +15,7 @@ from ..core.bitmap import Bitmap
 from ..core.nputil import expand_frontier
 from ..graphs import CSRGraph
 from ..la import claim_first_writer
+from ..la.spmv import masked_pull_claim
 from .buffers import LocalBuffer
 
 __all__ = ["gkc_bfs"]
@@ -23,8 +24,16 @@ ALPHA = 15
 BETA = 18
 
 
-def gkc_bfs(graph: CSRGraph, source: int) -> np.ndarray:
-    """Direction-optimizing BFS with buffered frontiers; returns parents."""
+def gkc_bfs(
+    graph: CSRGraph, source: int, pull_early_exit: bool = False
+) -> np.ndarray:
+    """Direction-optimizing BFS with buffered frontiers; returns parents.
+
+    With ``pull_early_exit=True`` (Optimized mode) the pull phase runs the
+    shared early-exit kernel — each row stops at its first frontier parent —
+    matching GKC's hand-tuned "break out of the inner loop" discipline.
+    Parents are identical; only edges examined drop.
+    """
     n = graph.num_vertices
     parents = np.full(n, -1, dtype=np.int64)
     parents[source] = source
@@ -41,13 +50,18 @@ def gkc_bfs(graph: CSRGraph, source: int) -> np.ndarray:
             while frontier.size and frontier.size > n // BETA:
                 counters.add_round()
                 unvisited = np.flatnonzero(parents < 0)
-                srcs, tgts = expand_frontier(graph.in_indptr, graph.in_indices, unvisited)
-                counters.add_edges(tgts.size)
-                hits = bits.contains(tgts)
-                srcs, tgts = srcs[hits], tgts[hits]
-                if srcs.size == 0:
+                fresh, examined = masked_pull_claim(
+                    graph.in_indptr,
+                    graph.in_indices,
+                    unvisited,
+                    bits.bits,
+                    parents,
+                    early_exit=pull_early_exit,
+                )
+                counters.add_edges(examined)
+                if fresh.size == 0:
                     return parents
-                frontier = claim_first_writer(parents, srcs, tgts, n)
+                frontier = fresh
                 bits = Bitmap.from_indices(n, frontier)
             if frontier.size == 0:
                 return parents

@@ -6,8 +6,8 @@ fusion), Afforest CC, Gauss-Seidel PR, Brandes BC without direction
 optimization, and order-invariant TC with an edge-list relabel and cyclic
 row distribution.  Per the paper, NWGraph's Baseline-to-Optimized gains
 came almost entirely from hyperthreading, which a sequential reproduction
-cannot express — so both modes run identically here (recorded as
-unmodelled).
+cannot express (recorded as unmodelled); the one modelled Optimized tweak
+is BFS's early-exit pull — otherwise both modes run identically here.
 """
 
 from __future__ import annotations
@@ -61,7 +61,9 @@ class NWGraphFramework(Framework):
     )
 
     def bfs(self, graph: CSRGraph, source: int, ctx: RunContext = RunContext()) -> np.ndarray:
-        return nwgraph_bfs(graph, source)
+        # Optimized mode stops each pull-range scan at the first frontier
+        # parent via the shared early-exit kernel; Baseline full-scans.
+        return nwgraph_bfs(graph, source, pull_early_exit=ctx.optimized)
 
     def sssp(self, graph: CSRGraph, source: int, ctx: RunContext = RunContext()) -> np.ndarray:
         return nwgraph_sssp(graph, source, delta=ctx.delta)

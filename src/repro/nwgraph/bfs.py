@@ -16,6 +16,7 @@ from ..core import counters
 from ..core.bitmap import Bitmap
 from ..graphs import CSRGraph
 from ..la import claim_first_writer
+from ..la.spmv import masked_pull_claim
 from ..ranges import AdjacencyView
 
 __all__ = ["nwgraph_bfs"]
@@ -25,11 +26,18 @@ PULL_THRESHOLD = 0.05
 PUSH_THRESHOLD = 0.01
 
 
-def nwgraph_bfs(graph: CSRGraph, source: int) -> np.ndarray:
-    """Direction-optimizing BFS over adjacency ranges; returns parents."""
+def nwgraph_bfs(
+    graph: CSRGraph, source: int, pull_early_exit: bool = False
+) -> np.ndarray:
+    """Direction-optimizing BFS over adjacency ranges; returns parents.
+
+    The pull phase goes through the shared ``masked_pull_claim`` kernel
+    (the in-adjacency range of every unvisited vertex, restricted to the
+    frontier bitmap); ``pull_early_exit=True`` stops each range scan at
+    the first frontier parent without changing the parents found.
+    """
     n = graph.num_vertices
     out_view = AdjacencyView.out_edges(graph)
-    in_view = AdjacencyView.in_edges(graph)
     parents = np.full(n, -1, dtype=np.int64)
     parents[source] = source
     frontier = np.array([source], dtype=np.int64)
@@ -45,13 +53,18 @@ def nwgraph_bfs(graph: CSRGraph, source: int) -> np.ndarray:
         if pulling:
             bits = Bitmap.from_indices(n, frontier)
             unvisited = np.flatnonzero(parents < 0)
-            srcs, tgts = in_view.expand(unvisited)
-            counters.add_edges(tgts.size)
-            hits = bits.contains(tgts)
-            srcs, tgts = srcs[hits], tgts[hits]
-            if srcs.size == 0:
+            fresh, examined = masked_pull_claim(
+                graph.in_indptr,
+                graph.in_indices,
+                unvisited,
+                bits.bits,
+                parents,
+                early_exit=pull_early_exit,
+            )
+            counters.add_edges(examined)
+            if fresh.size == 0:
                 break
-            frontier = claim_first_writer(parents, srcs, tgts, n)
+            frontier = fresh
         else:
             srcs, tgts = out_view.expand(frontier)
             counters.add_edges(tgts.size)

@@ -32,7 +32,12 @@ See ``docs/RESILIENCE.md`` for formats, semantics, and the hook reference.
 
 from .breaker import CircuitBreaker
 from .faults import FaultSpec, active_plan, parse_plan
-from .journal import JOURNAL_VERSION, CheckpointJournal, campaign_fingerprint
+from .journal import (
+    JOURNAL_VERSION,
+    CheckpointJournal,
+    campaign_fingerprint,
+    read_journal,
+)
 from .retry import CLASS_DETERMINISTIC, CLASS_TRANSIENT, RetryPolicy, classify_failure
 from .signals import graceful_shutdown
 
@@ -49,4 +54,5 @@ __all__ = [
     "classify_failure",
     "graceful_shutdown",
     "parse_plan",
+    "read_journal",
 ]

@@ -38,7 +38,12 @@ from typing import Iterable
 from ..core.results import RunResult
 from ..errors import JournalError
 
-__all__ = ["JOURNAL_VERSION", "CheckpointJournal", "campaign_fingerprint"]
+__all__ = [
+    "JOURNAL_VERSION",
+    "CheckpointJournal",
+    "campaign_fingerprint",
+    "read_journal",
+]
 
 JOURNAL_VERSION = 1
 
@@ -98,6 +103,30 @@ def _fingerprint_errors(
     )
     problems.extend(f"environment.{key}" for key in env_mismatch)
     return problems
+
+
+def read_journal(
+    path: str | Path,
+) -> tuple[dict[str, object], dict[CellKey, RunResult]]:
+    """Read a journal's fingerprint + completed cells without resuming it.
+
+    The benchmark service uses this at startup to recover work from
+    journals left behind by a crashed server: unlike
+    :meth:`CheckpointJournal.resume`, no current-campaign fingerprint is
+    required — the *recorded* fingerprint is returned so the caller can
+    re-derive cell digests for whatever campaign the journal belonged to.
+    A torn trailing line is discarded exactly as resume would.
+    """
+    path = Path(path)
+    header, completed = CheckpointJournal._read(path)
+    recorded = header.get("fingerprint")
+    if header.get("journal_version") != JOURNAL_VERSION or not isinstance(
+        recorded, dict
+    ):
+        raise JournalError(
+            f"{path} is not a version-{JOURNAL_VERSION} campaign journal"
+        )
+    return recorded, completed
 
 
 class CheckpointJournal:

@@ -1,0 +1,128 @@
+"""Streaming client for the benchmark service.
+
+A thin wrapper over :mod:`http.client` kept deliberately dependency-free
+(the container has no requests/httpx).  One :class:`ServiceClient` holds
+one persistent HTTP/1.1 connection — the benchmark drives dozens of
+these concurrently to model a fleet of submitters — and decodes the
+server's chunked NDJSON stream incrementally, so callers see each cell
+event the moment the server flushes it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Iterator
+
+from ..errors import ServiceError
+from .protocol import CampaignRequest
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Persistent-connection client for one service endpoint."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8585, timeout: float = 300.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._conn.connect()
+            # Mirror the server: without TCP_NODELAY, Nagle holds each
+            # small request/event segment for the delayed-ACK timer.
+            self._conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        return self._conn
+
+    def _request(self, method: str, path: str, body: bytes | None = None):
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            try:
+                conn = self._connection()
+                conn.request(method, path, body=body, headers=headers)
+                return conn.getresponse()
+            except (ConnectionError, http.client.HTTPException, OSError) as exc:
+                # A dropped keep-alive connection gets one reconnect; a
+                # genuinely unreachable server surfaces as ServiceError.
+                self.close()
+                if attempt:
+                    raise ServiceError(
+                        f"service at {self.host}:{self.port} unreachable: {exc}"
+                    ) from exc
+
+    def _json(self, method: str, path: str) -> dict[str, object]:
+        resp = self._request(method, path)
+        payload = resp.read()
+        if resp.status != 200:
+            raise ServiceError(
+                f"{method} {path} failed ({resp.status}): {payload.decode(errors='replace').strip()}"
+            )
+        return json.loads(payload)
+
+    # -- API ------------------------------------------------------------
+
+    def submit(self, request: CampaignRequest | dict) -> Iterator[dict]:
+        """Submit a campaign; yields decoded events as the server streams.
+
+        ``http.client`` undoes the chunked transfer-encoding, so each
+        ``readline()`` returns exactly one NDJSON event once the server
+        flushes it.
+        """
+        if isinstance(request, CampaignRequest):
+            request = request.as_dict()
+        body = json.dumps(request).encode()
+        resp = self._request("POST", "/submit", body)
+        if resp.status != 200:
+            detail = resp.read().decode(errors="replace").strip()
+            raise ServiceError(f"submission rejected ({resp.status}): {detail}")
+        while True:
+            line = resp.readline()
+            if not line:
+                return
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+    def submit_and_collect(self, request: CampaignRequest | dict) -> list[dict]:
+        """Submit and block until the terminal event; returns all events."""
+        return list(self.submit(request))
+
+    def status(self) -> dict[str, object]:
+        """The server's /status payload (stats, hit rate, recovery)."""
+        return self._json("GET", "/status")
+
+    def healthz(self) -> dict[str, object]:
+        """Liveness probe; raises :class:`ServiceError` when down."""
+        return self._json("GET", "/healthz")
+
+    def shutdown(self) -> dict[str, object]:
+        """Ask the server to stop serving and release its pool."""
+        result = self._json("POST", "/shutdown")
+        self.close()
+        return result
+
+    def close(self) -> None:
+        """Drop the persistent connection (reopened on next use)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,690 @@
+"""The memoizing benchmark server.
+
+:class:`BenchmarkService` is the core (transport-free) machine; the HTTP
+layer at the bottom of the module is a thin threaded front end over it.
+The submission path:
+
+1. **Classify** (under one lock): every cell of the request is digested
+   (:func:`repro.store.cellindex.cell_digest`, spec+environment prefix
+   hashed once per request) and becomes a *hit* (in the warm result
+   cache or the persistent cell index), a *subscription* (an identical
+   cell is already executing for an earlier submission — request
+   coalescing), or an *owned miss*.
+2. **Serve hits immediately**: cached cells stream back as pre-encoded
+   event lines without touching the executor — the cache-first read
+   path that keeps p95 flat under concurrent load.
+3. **Execute misses** on the single engine thread through
+   :func:`repro.core.executor.run_suite_parallel`, over one warm
+   :class:`~repro.core.pool.WorkerPool` shared across all submissions
+   (bounded in-flight compute: one executing job, a bounded queue of
+   waiting jobs).  Every finalized cell is fsynced to a per-job
+   checkpoint journal *before* it is streamed, so a crashed server can
+   recover completed cells on restart (``repro serve --resume``).
+4. **Archive + index**: the job's executed cells are archived as one
+   content-addressed run; each successful cell's digest is durably
+   appended to the cell index, making it a hit for every future
+   submission.  Failures (error/timeout/skipped cells) are archived for
+   the record but never memoized — a re-submission re-executes them.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from queue import Full, Queue, SimpleQueue
+from typing import Callable, Iterator
+
+from ..core.executor import run_suite_parallel
+from ..core.pool import WorkerPool
+from ..core.results import ResultSet, RunResult
+from ..core.telemetry import Telemetry
+from ..errors import JournalError, ReproError, ServiceError
+from ..frameworks import Mode
+from ..frameworks.registry import get as get_framework
+from ..graphs.cache import GraphCache
+from ..resilience.journal import CheckpointJournal, campaign_fingerprint, read_journal
+from ..store.archive import RunArchive
+from ..store.cellindex import CellIndex, cell_digest, identity_hasher
+from ..store.environment import fingerprint
+from .protocol import CampaignRequest, encode_event
+
+__all__ = ["BenchmarkService", "ServiceHTTPServer", "serve_forever"]
+
+#: Cells kept in the in-memory hot cache (evicted entries reload from
+#: the archive on next touch; the persistent index is never evicted).
+DEFAULT_RESULT_CACHE_SIZE = 65536
+
+#: Campaigns allowed to wait for the engine before submissions bounce.
+DEFAULT_MAX_PENDING_JOBS = 16
+
+
+class _Inflight:
+    """One currently-executing cell: who to notify, and the result so far."""
+
+    __slots__ = ("subscribers", "line")
+
+    def __init__(self) -> None:
+        self.subscribers: list[SimpleQueue] = []
+        self.line: bytes | None = None
+
+
+class _Job:
+    """One enqueued execution: a request's owned misses."""
+
+    __slots__ = ("request", "spec", "hasher", "owned", "queue", "seq")
+
+    def __init__(self, request, spec, hasher, owned, queue, seq) -> None:
+        self.request = request
+        self.spec = spec
+        self.hasher = hasher
+        #: ``[(digest, cell_key), ...]`` in canonical order.
+        self.owned = owned
+        self.queue = queue
+        self.seq = seq
+
+
+class BenchmarkService:
+    """Memoize-or-execute campaign server core (transport-agnostic)."""
+
+    def __init__(
+        self,
+        archive_dir: str | Path | None = None,
+        jobs: int = 1,
+        cache_dir: str | Path | None = None,
+        journal_dir: str | Path | None = None,
+        max_pending_jobs: int = DEFAULT_MAX_PENDING_JOBS,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        resume: bool = False,
+    ) -> None:
+        self.archive = RunArchive(archive_dir)
+        self.index = CellIndex.for_archive(self.archive)
+        self.journal_dir = (
+            Path(journal_dir)
+            if journal_dir is not None
+            else self.archive.root / "journals"
+        )
+        self.jobs = max(1, int(jobs))
+        self.cache = GraphCache(cache_dir) if cache_dir is not None else GraphCache()
+        self._lock = threading.Lock()
+        #: digest → {"line": bytes, "payload": dict, "run_id": str|None,
+        #: "cell": tuple}; LRU over *hot* entries (the index is complete).
+        self._results: "OrderedDict[str, dict]" = OrderedDict()
+        self._result_cache_size = int(result_cache_size)
+        self._inflight: dict[str, _Inflight] = {}
+        self._queue: "Queue[_Job | None]" = Queue(maxsize=max(1, int(max_pending_jobs)))
+        self._pool: WorkerPool | None = None
+        self._job_seq = 0
+        self._started_at = time.time()
+        self._closed = False
+        self.stats: dict[str, int] = {
+            "submissions": 0,
+            "cells_requested": 0,
+            "cells_hit": 0,
+            "cells_coalesced": 0,
+            "cells_executed": 0,
+            "jobs_executed": 0,
+            "jobs_rejected": 0,
+            "jobs_failed": 0,
+            "cells_recovered": 0,
+        }
+        self.recovery_report: list[dict[str, object]] = []
+        if resume:
+            self.recovery_report = self._recover_journals()
+        self._engine = threading.Thread(
+            target=self._engine_loop, name="service-engine", daemon=True
+        )
+        self._engine.start()
+
+    # -- submission (handler threads) -----------------------------------
+
+    def submit_events(self, request: CampaignRequest) -> Iterator[bytes]:
+        """Process one submission; yields encoded NDJSON event lines.
+
+        The generator is the whole request lifecycle: classification runs
+        on first ``next()``, hits stream immediately, and the generator
+        blocks between events while misses execute.
+        """
+        spec = request.spec()
+        hasher = identity_hasher(spec)
+        cells = request.cell_keys()
+        queue: SimpleQueue = SimpleQueue()
+        hit_lines: list[bytes] = []
+        owned: list[tuple[str, tuple[str, str, str, str]]] = []
+        pending: set[str] = set()
+
+        with self._lock:
+            self.stats["submissions"] += 1
+            self.stats["cells_requested"] += len(cells)
+            for key in cells:
+                digest = cell_digest(None, key, hasher=hasher)
+                line = self._hit_line_locked(digest)
+                if line is not None:
+                    hit_lines.append(line)
+                    self.stats["cells_hit"] += 1
+                    continue
+                entry = self._inflight.get(digest)
+                if entry is not None:
+                    self.stats["cells_coalesced"] += 1
+                    if entry.line is not None:
+                        # Already finished executing, not yet archived:
+                        # replay the streamed event instead of waiting.
+                        hit_lines.append(entry.line)
+                    else:
+                        entry.subscribers.append(queue)
+                        pending.add(digest)
+                    continue
+                self._inflight[digest] = _Inflight()
+                self._inflight[digest].subscribers.append(queue)
+                owned.append((digest, key))
+                pending.add(digest)
+
+        job: _Job | None = None
+        if owned:
+            with self._lock:
+                self._job_seq += 1
+                seq = self._job_seq
+            job = _Job(request, spec, hasher, owned, queue, seq)
+            try:
+                self._queue.put_nowait(job)
+            except Full:
+                with self._lock:
+                    for digest, _ in owned:
+                        self._inflight.pop(digest, None)
+                    self.stats["jobs_rejected"] += 1
+                yield encode_event(
+                    {
+                        "event": "error",
+                        "campaign": request.campaign_id,
+                        "message": (
+                            "server at capacity: "
+                            f"{self._queue.maxsize} campaigns already queued"
+                        ),
+                    }
+                )
+                return
+
+        yield encode_event(
+            {
+                "event": "accepted",
+                "campaign": request.campaign_id,
+                "cells": len(cells),
+                "hits": len(hit_lines),
+                "pending": len(pending),
+            }
+        )
+        for line in hit_lines:
+            yield line
+
+        fresh_run_id: str | None = None
+        failure: str | None = None
+        awaiting_finish = job is not None
+        while pending or awaiting_finish:
+            message = queue.get()
+            kind = message[0]
+            if kind == "cell":
+                _, digest, line = message
+                pending.discard(digest)
+                yield line
+            elif kind == "finish":
+                awaiting_finish = False
+                fresh_run_id = message[1]
+            elif kind == "fatal":
+                awaiting_finish = False
+                failure = message[1]
+                # The engine already resolved this job's owned cells with
+                # error events; anything still pending belongs to other
+                # jobs and will drain normally.
+                pending -= {digest for digest, _ in (job.owned if job else [])}
+
+        if failure is not None:
+            yield encode_event(
+                {
+                    "event": "error",
+                    "campaign": request.campaign_id,
+                    "message": failure,
+                }
+            )
+            return
+        yield encode_event(
+            {
+                "event": "done",
+                "campaign": request.campaign_id,
+                "cells": len(cells),
+                "hits": len(hit_lines),
+                "executed": len(owned),
+                "fresh_run_id": fresh_run_id,
+            }
+        )
+
+    def submit_collect(
+        self, request: CampaignRequest
+    ) -> list[dict[str, object]]:
+        """Decoded event list for one submission (test/in-process use)."""
+        return [json.loads(line) for line in self.submit_events(request)]
+
+    # -- cache ----------------------------------------------------------
+
+    def _hit_line_locked(self, digest: str) -> bytes | None:
+        """Pre-encoded hit event for a digest, or None (lock held)."""
+        entry = self._results.get(digest)
+        if entry is None:
+            run_id = self.index.run_id_for(digest)
+            if run_id is None:
+                return None
+            self._warm_run_locked(run_id)
+            entry = self._results.get(digest)
+            if entry is None:
+                return None
+        self._results.move_to_end(digest)
+        return entry["line"]
+
+    def _warm_run_locked(self, run_id: str) -> None:
+        """Load one archived run's successful cells into the hot cache."""
+        try:
+            record = self.archive.lookup(run_id)
+            results = record.load_results()
+        except (ReproError, OSError, ValueError):
+            return
+        spec = record.manifest.get("spec")
+        environment = record.manifest.get("environment")
+        if not isinstance(spec, dict):
+            return
+        hasher = identity_hasher(
+            spec, environment if isinstance(environment, dict) else None
+        )
+        for result in results:
+            if not result.ok:
+                continue
+            digest = cell_digest(None, result.cell_key, hasher=hasher)
+            if digest not in self._results:
+                self._cache_result_locked(
+                    digest, result.cell_key, result.as_dict(), run_id
+                )
+
+    def _cache_result_locked(
+        self,
+        digest: str,
+        cell_key: tuple[str, str, str, str],
+        payload: dict[str, object],
+        run_id: str | None,
+    ) -> None:
+        line = encode_event(
+            {
+                "event": "cell",
+                "digest": digest,
+                "cell": list(cell_key),
+                "cached": True,
+                "run_id": run_id,
+                "result": payload,
+            }
+        )
+        self._results[digest] = {
+            "line": line,
+            "payload": payload,
+            "run_id": run_id,
+            "cell": cell_key,
+        }
+        self._results.move_to_end(digest)
+        while len(self._results) > self._result_cache_size:
+            self._results.popitem(last=False)
+
+    # -- execution engine (single thread) -------------------------------
+
+    def _engine_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            try:
+                self._execute(job)
+                with self._lock:
+                    self.stats["jobs_executed"] += 1
+            except BaseException as exc:  # noqa: BLE001 - engine must survive
+                self._fail_job(job, exc)
+
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None or self._pool.closed:
+            self._pool = WorkerPool(self.jobs)
+        return self._pool
+
+    def _execute(self, job: _Job) -> None:
+        """Run one job's owned misses through the shared warm pool."""
+        request = job.request
+        owned_keys = {key for _, key in job.owned}
+        # The executor runs a cross-product grid; derive the smallest
+        # axes covering the owned cells (subset of the request axes) and
+        # pre-fill every non-owned grid cell from the cache so nothing
+        # already measured re-executes.
+        graphs = [g for g in request.graphs if any(k[0] == g for k in owned_keys)]
+        modes = [m for m in request.modes if any(k[1] == m for k in owned_keys)]
+        kernels = [k for k in request.kernels if any(c[2] == k for c in owned_keys)]
+        frameworks = [
+            f for f in request.frameworks if any(k[3] == f for k in owned_keys)
+        ]
+        completed: dict[tuple[str, str, str, str], RunResult] = {}
+        with self._lock:
+            for graph in graphs:
+                for mode in modes:
+                    for kernel in kernels:
+                        for framework in frameworks:
+                            key = (graph, mode, kernel, framework)
+                            if key in owned_keys:
+                                continue
+                            digest = cell_digest(None, key, hasher=job.hasher)
+                            entry = self._results.get(digest)
+                            if entry is not None:
+                                completed[key] = RunResult.from_dict(
+                                    entry["payload"]
+                                )
+                            # A grid-filler absent from the cache (e.g. a
+                            # previously failed cell) simply re-executes.
+
+        spec = job.spec
+        journal_path = self.journal_dir / f"job-{request.campaign_id}-{job.seq}.jsonl"
+        journal = CheckpointJournal.create(
+            journal_path,
+            campaign_fingerprint(spec, graphs, kernels, modes, frameworks),
+        )
+        executed: list[tuple[str, tuple[str, str, str, str], RunResult]] = []
+
+        def on_result(cell, result: RunResult) -> None:
+            key = (cell.graph, cell.mode.value, cell.kernel, cell.framework)
+            digest = cell_digest(None, key, hasher=job.hasher)
+            line = encode_event(
+                {
+                    "event": "cell",
+                    "digest": digest,
+                    "cell": list(key),
+                    "cached": False,
+                    "run_id": None,
+                    "result": result.as_dict(),
+                }
+            )
+            with self._lock:
+                executed.append((digest, key, result))
+                self.stats["cells_executed"] += 1
+                entry = self._inflight.get(digest)
+                if entry is not None:
+                    entry.line = line
+                    for subscriber in entry.subscribers:
+                        subscriber.put(("cell", digest, line))
+
+        pool = self._ensure_pool()
+        try:
+            run_suite_parallel(
+                [get_framework(name) for name in frameworks],
+                graphs,
+                kernels=kernels,
+                modes=[Mode(value) for value in modes],
+                spec=spec,
+                jobs=pool.jobs,
+                telemetry=Telemetry(),
+                cache=self.cache,
+                journal=journal,
+                completed=completed,
+                pool=pool,
+                on_result=on_result,
+            )
+        finally:
+            journal.close()
+
+        # Archive exactly the executed cells as one content-addressed run.
+        ordered = sorted(
+            executed,
+            key=lambda item: (
+                graphs.index(item[1][0]),
+                modes.index(item[1][1]),
+                kernels.index(item[1][2]),
+                frameworks.index(item[1][3]),
+            ),
+        )
+        results = ResultSet(
+            [result for _, _, result in ordered],
+            meta={
+                "spec": spec.as_dict(),
+                "environment": fingerprint(),
+                "graphs": graphs,
+                "kernels": kernels,
+                "modes": modes,
+                "frameworks": frameworks,
+                "service": {"campaign": request.campaign_id, "job": job.seq},
+            },
+        )
+        record = self.archive.archive_run(
+            results, spec=spec, source=f"service:{request.campaign_id}"
+        )
+        self.index.add_many(
+            [
+                (digest, record.run_id, key)
+                for digest, key, result in executed
+                if result.ok
+            ]
+        )
+        with self._lock:
+            for digest, key, result in executed:
+                if result.ok:
+                    self._cache_result_locked(
+                        digest, key, result.as_dict(), record.run_id
+                    )
+                self._inflight.pop(digest, None)
+        journal_path.unlink(missing_ok=True)
+        job.queue.put(("finish", record.run_id))
+
+    def _fail_job(self, job: _Job, exc: BaseException) -> None:
+        """Resolve a crashed job: error events out, inflight marks cleared."""
+        message = f"campaign execution failed: {type(exc).__name__}: {exc}"
+        with self._lock:
+            self.stats["jobs_failed"] += 1
+            for digest, key in job.owned:
+                entry = self._inflight.pop(digest, None)
+                if entry is None or entry.line is not None:
+                    continue
+                line = encode_event(
+                    {
+                        "event": "cell",
+                        "digest": digest,
+                        "cell": list(key),
+                        "cached": False,
+                        "run_id": None,
+                        "result": None,
+                        "error": message,
+                    }
+                )
+                for subscriber in entry.subscribers:
+                    subscriber.put(("cell", digest, line))
+        job.queue.put(("fatal", message))
+
+    # -- recovery -------------------------------------------------------
+
+    def _recover_journals(self) -> list[dict[str, object]]:
+        """Archive + index completed cells from crashed jobs' journals.
+
+        Each journal header carries the campaign fingerprint (topology-
+        free spec identity + environment), which is exactly what a cell
+        digest is made of — so recovered cells become ordinary cache
+        hits: a client re-submitting the interrupted campaign gets every
+        journaled cell back with a real run_id and zero re-execution.
+        """
+        reports: list[dict[str, object]] = []
+        if not self.journal_dir.is_dir():
+            return reports
+        for path in sorted(self.journal_dir.glob("*.jsonl")):
+            try:
+                recorded, completed = read_journal(path)
+            except (JournalError, OSError) as exc:
+                reports.append({"journal": path.name, "error": str(exc)})
+                continue
+            spec = recorded.get("spec")
+            environment = recorded.get("environment")
+            if isinstance(spec, dict) and completed:
+                hasher = identity_hasher(
+                    spec, environment if isinstance(environment, dict) else None
+                )
+                results = ResultSet(
+                    list(completed.values()),
+                    meta={
+                        "spec": spec,
+                        "environment": environment,
+                        "service": {"recovered_from": path.name},
+                    },
+                )
+                record = self.archive.archive_run(
+                    results, spec=spec, source=f"service-recovery:{path.name}"
+                )
+                self.index.add_many(
+                    [
+                        (
+                            cell_digest(None, result.cell_key, hasher=hasher),
+                            record.run_id,
+                            result.cell_key,
+                        )
+                        for result in completed.values()
+                        if result.ok
+                    ]
+                )
+                self.stats["cells_recovered"] += len(completed)
+                reports.append(
+                    {
+                        "journal": path.name,
+                        "recovered_cells": len(completed),
+                        "run_id": record.run_id,
+                    }
+                )
+            else:
+                reports.append({"journal": path.name, "recovered_cells": 0})
+            path.unlink(missing_ok=True)
+        return reports
+
+    # -- introspection / lifecycle --------------------------------------
+
+    def status(self) -> dict[str, object]:
+        """Introspection payload: stats, hit rate, queue/cache depths."""
+        with self._lock:
+            stats = dict(self.stats)
+            inflight = len(self._inflight)
+            cached = len(self._results)
+        requested = stats["cells_requested"]
+        served = stats["cells_hit"] + stats["cells_coalesced"]
+        return {
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "archive": str(self.archive.root),
+            "indexed_cells": len(self.index),
+            "hot_cache_cells": cached,
+            "inflight_cells": inflight,
+            "queued_jobs": self._queue.qsize(),
+            "hit_rate": round(served / requested, 6) if requested else None,
+            "recovery": self.recovery_report,
+            **stats,
+        }
+
+    def shutdown(self) -> None:
+        """Stop the engine and release the pool (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._engine.join(timeout=30.0)
+        if self._pool is not None and not self._pool.closed:
+            self._pool.shutdown()
+        self.index.close()
+
+
+# -- HTTP front end -----------------------------------------------------
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes: POST /submit (NDJSON stream), GET /status, GET /healthz,
+    POST /shutdown.  HTTP/1.1 with keep-alive; /submit streams via
+    chunked transfer-encoding so clients see cells as they land."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service"
+    # Nagle + delayed ACK turns each small chunked write into a 40ms
+    # stall; a streaming event protocol must flush segments immediately.
+    disable_nagle_algorithm = True
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # the service is chatty enough through its event streams
+
+    @property
+    def service(self) -> BenchmarkService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _send_json(self, status: int, payload: dict[str, object]) -> None:
+        body = json.dumps(payload, default=str).encode() + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._send_json(200, {"ok": True})
+        elif self.path == "/status":
+            self._send_json(200, self.service.status())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:
+        if self.path == "/shutdown":
+            self._send_json(200, {"ok": True, "shutting_down": True})
+            threading.Thread(target=self.server.shutdown, daemon=True).start()
+            return
+        if self.path != "/submit":
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length) if length else b""
+            request = CampaignRequest.from_dict(json.loads(raw or b"{}"))
+        except (ServiceError, json.JSONDecodeError, ValueError) as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            for line in self.service.submit_events(request):
+                self.wfile.write(b"%X\r\n%s\r\n" % (len(line), line))
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream; the engine finishes anyway
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`BenchmarkService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: BenchmarkService) -> None:
+        super().__init__(address, _ServiceHandler)
+        self.service = service
+
+
+def serve_forever(
+    service: BenchmarkService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready: Callable[[str, int], None] | None = None,
+) -> None:
+    """Serve until /shutdown or KeyboardInterrupt; blocks the caller.
+
+    ``port=0`` binds an ephemeral port; ``ready`` receives the actual
+    (host, port) before serving starts (the CLI prints it).
+    """
+    server = ServiceHTTPServer((host, port), service)
+    try:
+        if ready is not None:
+            ready(*server.server_address[:2])
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.shutdown()

@@ -23,6 +23,13 @@ from .archive import (
     default_archive_dir,
     write_json_atomic,
 )
+from .cellindex import (
+    CELL_INDEX_VERSION,
+    CellIndex,
+    cell_digest,
+    identity_hasher,
+    spec_identity,
+)
 from .environment import fingerprint, git_sha, version_string
 from .gate import GateReport, evaluate_gate, promote_baseline, write_gate_report
 from .stats import (
@@ -35,19 +42,24 @@ from .stats import (
 
 __all__ = [
     "ARCHIVE_SCHEMA_VERSION",
+    "CELL_INDEX_VERSION",
     "DEFAULT_NOISE_THRESHOLD",
     "CellDelta",
+    "CellIndex",
     "GateReport",
     "RunArchive",
     "RunRecord",
     "bench_payload",
     "bootstrap_ratio_ci",
+    "cell_digest",
     "classify_cells",
     "default_archive_dir",
     "evaluate_gate",
     "fingerprint",
     "git_sha",
+    "identity_hasher",
     "promote_baseline",
+    "spec_identity",
     "summarize_deltas",
     "version_string",
     "write_gate_report",

@@ -305,25 +305,52 @@ class RunArchive:
             raise ArchiveError(f"run {run_id} has no readable manifest") from exc
         return RunRecord(run_id=run_id, path=run_dir, manifest=manifest)
 
-    def lookup(self, ref: str) -> RunRecord:
-        """Resolve ``latest`` or a unique run-id prefix to a record."""
+    def resolve(self, ref: str) -> str:
+        """Resolve ``latest`` or a run-id prefix to a unique run id.
+
+        Resolution is deterministic and index-staleness-proof: an exact
+        on-disk run id wins outright (even if the index lost it), then a
+        unique prefix over the union of indexed and on-disk runs (the
+        index can lag a concurrent archiver, so duplicates are collapsed
+        and the run directories are consulted as the source of truth).
+        An ambiguous prefix always fails the same way: every matching
+        run id listed in sorted order, so the caller can add digits.
+        """
         entries = self.list_runs()
-        if not entries:
-            raise ArchiveError(f"archive at {self.root} has no runs")
         if ref == "latest":
-            return self._record(str(entries[0]["run_id"]))
-        matches = [
+            if not entries:
+                raise ArchiveError(f"archive at {self.root} has no runs")
+            return str(entries[0]["run_id"])
+        if (self.runs_dir / ref / "manifest.json").exists():
+            return ref
+        matches = {
             str(entry["run_id"])
             for entry in entries
             if str(entry["run_id"]).startswith(ref)
-        ]
+        }
+        if self.runs_dir.is_dir():
+            matches.update(
+                run_dir.name
+                for run_dir in self.runs_dir.iterdir()
+                if not run_dir.name.startswith(".")
+                and run_dir.name.startswith(ref)
+                and (run_dir / "manifest.json").exists()
+            )
         if not matches:
+            if not entries:
+                raise ArchiveError(f"archive at {self.root} has no runs")
             raise ArchiveError(f"no archived run matches {ref!r}")
         if len(matches) > 1:
+            listing = ", ".join(sorted(matches))
             raise ArchiveError(
-                f"ambiguous run ref {ref!r}: matches {sorted(matches)}"
+                f"ambiguous run ref {ref!r}: matches {len(matches)} runs "
+                f"[{listing}]; add more digits to disambiguate"
             )
-        return self._record(matches[0])
+        return next(iter(matches))
+
+    def lookup(self, ref: str) -> RunRecord:
+        """Resolve ``latest`` or a unique run-id prefix to a record."""
+        return self._record(self.resolve(ref))
 
     def load_results(self, ref: str) -> ResultSet:
         """The archived :class:`ResultSet` for a run ref."""

@@ -1,0 +1,184 @@
+"""Tests for the persistent cell-level memoization index."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.results import ResultSet, RunResult
+from repro.core.spec import BenchmarkSpec
+from repro.errors import ArchiveError
+from repro.frameworks import Mode
+from repro.store import RunArchive
+from repro.store.cellindex import (
+    CELL_INDEX_VERSION,
+    CellIndex,
+    cell_digest,
+    comparable_environment,
+    identity_hasher,
+    spec_identity,
+)
+from repro.store.environment import COMPARABILITY_KEYS, fingerprint
+
+CELL = ("kron", "baseline", "bfs", "gap")
+
+
+def _result(graph="kron", kernel="bfs", framework="gap", status="ok"):
+    return RunResult(
+        framework=framework,
+        kernel=kernel,
+        graph=graph,
+        mode=Mode.BASELINE,
+        trial_seconds=[1.0] if status == "ok" else [],
+        status=status,
+    )
+
+
+class TestDigest:
+    def test_topology_outside_the_digest(self):
+        serial = BenchmarkSpec(scale=8, jobs=1, pool="process")
+        fanout = BenchmarkSpec(scale=8, jobs=4, pool="threads", batch_size=7)
+        assert cell_digest(serial, CELL) == cell_digest(fanout, CELL)
+
+    def test_measurement_knobs_inside_the_digest(self):
+        base = BenchmarkSpec(scale=8)
+        assert cell_digest(base, CELL) != cell_digest(BenchmarkSpec(scale=9), CELL)
+        assert cell_digest(base, CELL) != cell_digest(
+            BenchmarkSpec(scale=8, seed=1), CELL
+        )
+        assert cell_digest(base, CELL) != cell_digest(
+            BenchmarkSpec(scale=8, trial_timeout=5.0), CELL
+        )
+
+    def test_distinct_cells_distinct_digests(self):
+        spec = BenchmarkSpec(scale=8)
+        other = ("kron", "baseline", "cc", "gap")
+        assert cell_digest(spec, CELL) != cell_digest(spec, other)
+
+    def test_hasher_prefix_equals_direct_form(self):
+        spec = BenchmarkSpec(scale=8)
+        hasher = identity_hasher(spec)
+        assert cell_digest(None, CELL, hasher=hasher) == cell_digest(spec, CELL)
+        # The hasher is reusable: copy() semantics keep the prefix intact.
+        other = ("kron", "baseline", "cc", "gap")
+        assert cell_digest(None, other, hasher=hasher) == cell_digest(spec, other)
+
+    def test_environment_participates_via_comparability_slice(self):
+        spec = BenchmarkSpec(scale=8)
+        env = comparable_environment()
+        assert set(env) == set(COMPARABILITY_KEYS)
+        changed = dict(fingerprint())
+        changed["numpy"] = "0.0.0-different"
+        assert cell_digest(spec, CELL) != cell_digest(spec, CELL, environment=changed)
+
+    def test_git_sha_does_not_cold_start_the_cache(self):
+        spec = BenchmarkSpec(scale=8)
+        moved = dict(fingerprint())
+        moved["git_sha"] = "f" * 12
+        assert cell_digest(spec, CELL) == cell_digest(spec, CELL, environment=moved)
+
+    def test_spec_identity_strips_only_topology(self):
+        spec = BenchmarkSpec(scale=8, jobs=3, pool="threads", batch_size=2)
+        identity = spec_identity(spec)
+        assert "jobs" not in identity
+        assert "pool" not in identity
+        assert "batch_size" not in identity
+        assert identity["scale"] == 8
+
+
+class TestCellIndex:
+    def test_round_trip_and_reload(self, tmp_path):
+        path = tmp_path / "cell_index.jsonl"
+        with CellIndex(path) as index:
+            index.add("d1", "run-a", CELL)
+            index.add("d2", "run-b", ("kron", "baseline", "cc", "gap"))
+            assert index.run_id_for("d1") == "run-a"
+            assert "d2" in index
+            assert len(index) == 2
+        with CellIndex(path) as reloaded:
+            assert reloaded.run_id_for("d1") == "run-a"
+            assert reloaded.get("d2")["cell"] == ["kron", "baseline", "cc", "gap"]
+
+    def test_header_carries_schema_version(self, tmp_path):
+        path = tmp_path / "cell_index.jsonl"
+        with CellIndex(path) as index:
+            index.add("d1", "run-a", CELL)
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {"cell_index_version": CELL_INDEX_VERSION}
+
+    def test_add_is_idempotent(self, tmp_path):
+        path = tmp_path / "cell_index.jsonl"
+        with CellIndex(path) as index:
+            index.add("d1", "run-a", CELL)
+            before = path.stat().st_size
+            index.add("d1", "run-a", CELL)
+            assert path.stat().st_size == before
+
+    def test_remap_appends_and_latest_wins(self, tmp_path):
+        path = tmp_path / "cell_index.jsonl"
+        with CellIndex(path) as index:
+            index.add("d1", "run-a", CELL)
+            index.add("d1", "run-b", CELL)
+            assert index.run_id_for("d1") == "run-b"
+        with CellIndex(path) as reloaded:
+            assert reloaded.run_id_for("d1") == "run-b"
+
+    def test_torn_trailing_line_discarded(self, tmp_path):
+        path = tmp_path / "cell_index.jsonl"
+        with CellIndex(path) as index:
+            index.add("d1", "run-a", CELL)
+        with open(path, "ab") as stream:
+            stream.write(b'{"digest": "d2", "run_id": "run')  # no newline
+        with CellIndex(path) as reloaded:
+            assert reloaded.run_id_for("d1") == "run-a"
+            assert "d2" not in reloaded
+
+    def test_corrupt_interior_line_is_an_error(self, tmp_path):
+        path = tmp_path / "cell_index.jsonl"
+        with CellIndex(path) as index:
+            index.add("d1", "run-a", CELL)
+        raw = path.read_bytes()
+        path.write_bytes(raw.replace(b'"digest"', b'"digest', 1))
+        with pytest.raises(ArchiveError, match="rebuild"):
+            CellIndex(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "cell_index.jsonl"
+        path.write_text('{"cell_index_version": 999}\n')
+        with pytest.raises(ArchiveError, match="version"):
+            CellIndex(path)
+
+    def test_add_many_batches_in_one_append(self, tmp_path):
+        path = tmp_path / "cell_index.jsonl"
+        with CellIndex(path) as index:
+            count = index.add_many(
+                [
+                    ("d1", "run-a", CELL),
+                    ("d2", "run-a", ("kron", "baseline", "cc", "gap")),
+                    ("d1", "run-a", CELL),  # duplicate within the batch
+                ]
+            )
+        assert count == 2
+
+    def test_rebuild_from_archive(self, tmp_path):
+        archive = RunArchive(tmp_path)
+        spec = BenchmarkSpec(scale=8)
+        results = ResultSet(
+            [_result(), _result(kernel="cc")],
+            meta={"environment": fingerprint()},
+        )
+        record = archive.archive_run(results, spec=spec)
+        index = CellIndex.for_archive(archive)
+        indexed = index.rebuild_from_archive(archive)
+        assert indexed == 2
+        digest = cell_digest(spec, CELL)
+        assert index.run_id_for(digest) == record.run_id
+        index.close()
+
+    def test_rebuild_skips_runs_without_spec(self, tmp_path):
+        archive = RunArchive(tmp_path)
+        archive.archive_run(ResultSet([_result()]))  # no spec
+        index = CellIndex.for_archive(archive)
+        assert index.rebuild_from_archive(archive) == 0
+        index.close()

@@ -106,3 +106,69 @@ class TestEarlyExitPull:
         # Baseline keeps the paper-parity full scan; Optimized may not
         # exceed it and on kron must beat it.
         assert optimized.edges_examined < baseline.edges_examined
+
+
+def _sync_pull_bfs_variants():
+    """The non-GAP sync-pull BFS entry points that grew early-exit pulls."""
+    from repro.galois.bfs import sync_bfs
+    from repro.gkc.bfs import gkc_bfs
+    from repro.nwgraph.bfs import nwgraph_bfs
+
+    return [("galois", sync_bfs), ("gkc", gkc_bfs), ("nwgraph", nwgraph_bfs)]
+
+
+class TestSyncPullEarlyExit:
+    """Satellite pins: galois/gkc/nwgraph sync pulls share the kernel.
+
+    Each framework's pull now goes through ``la.spmv.masked_pull_claim``;
+    Optimized mode flips on the chunked early exit.  These pins assert,
+    per framework, that the early-exit pull finds byte-identical parents
+    while examining strictly fewer edges on kron (where nearly every
+    pulled row has a frontier in-neighbor in its first few in-edges),
+    and that the adapters key the policy off the run mode.
+    """
+
+    @pytest.mark.parametrize(
+        "name,bfs_fn",
+        _sync_pull_bfs_variants(),
+        ids=[n for n, _ in _sync_pull_bfs_variants()],
+    )
+    def test_same_parents_strictly_fewer_edges(self, case, source, name, bfs_fn):
+        with counters.counting() as full:
+            parents_full = bfs_fn(case.graph, source, pull_early_exit=False)
+        with counters.counting() as fast:
+            parents_fast = bfs_fn(case.graph, source, pull_early_exit=True)
+        assert (parents_full == parents_fast).all(), name
+        assert fast.rounds == full.rounds, name
+        assert fast.edges_examined < full.edges_examined, (
+            f"{name}: early-exit pull must strictly reduce edges examined "
+            f"(got {fast.edges_examined} vs full {full.edges_examined})"
+        )
+
+    @pytest.mark.parametrize("framework_name", ["gkc", "nwgraph"])
+    def test_adapter_mode_selects_scan_policy(self, case, source, framework_name):
+        framework = get(framework_name)
+        with counters.counting() as baseline:
+            parents_base = framework.bfs(
+                case.graph, source, RunContext(mode=Mode.BASELINE)
+            )
+        with counters.counting() as optimized:
+            parents_opt = framework.bfs(
+                case.graph, source, RunContext(mode=Mode.OPTIMIZED)
+            )
+        assert (parents_base == parents_opt).all()
+        assert optimized.edges_examined < baseline.edges_examined
+
+    def test_galois_adapter_optimized_uses_early_exit(self, case, source):
+        """Galois' Optimized scheduling picks sync BFS on kron (low diameter);
+        the sync path must then run the early-exit pull."""
+        from repro.galois.bfs import sync_bfs
+
+        framework = get("galois")
+        ctx = RunContext(mode=Mode.OPTIMIZED, graph_name="kron")
+        with counters.counting() as adapter:
+            parents_adapter = framework.bfs(case.graph, source, ctx)
+        with counters.counting() as direct:
+            parents_direct = sync_bfs(case.graph, source, pull_early_exit=True)
+        assert (parents_adapter == parents_direct).all()
+        assert adapter.edges_examined == direct.edges_examined
