@@ -1,0 +1,63 @@
+"""I/O round-trip benchmark: vectorized edge-list write/read and ingest.
+
+``write_edge_list`` emits each graph as one ``np.column_stack`` +
+``np.savetxt`` call per direction instead of a Python-level loop over
+edges; ``read_edge_list``/``read_mtx`` parse in ``np.loadtxt`` chunks.
+This bench pins the round-trip cost of both sides at corpus scale so a
+regression back to per-edge Python shows up as a step change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators import build_graph, weighted_version
+from repro.graphs import load_graph_file, read_edge_list, write_edge_list
+
+from .conftest import BENCH_SCALE
+
+
+@pytest.fixture(scope="module")
+def kron_graph():
+    return build_graph("kron", scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="module")
+def weighted_road():
+    return weighted_version(build_graph("road", scale=BENCH_SCALE))
+
+
+def test_write_edge_list(benchmark, tmp_path, kron_graph):
+    benchmark.group = "io:write"
+    benchmark.pedantic(
+        lambda: write_edge_list(kron_graph, tmp_path / "g.el"),
+        rounds=5,
+        warmup_rounds=1,
+    )
+
+
+def test_write_weighted_edge_list(benchmark, tmp_path, weighted_road):
+    benchmark.group = "io:write"
+    benchmark.pedantic(
+        lambda: write_edge_list(weighted_road, tmp_path / "g.wel"),
+        rounds=5,
+        warmup_rounds=1,
+    )
+
+
+def test_read_edge_list(benchmark, tmp_path, kron_graph):
+    path = tmp_path / "g.el"
+    write_edge_list(kron_graph, path)
+    benchmark.group = "io:read"
+    benchmark.pedantic(lambda: read_edge_list(path), rounds=5, warmup_rounds=1)
+
+
+def test_roundtrip_through_ingest(benchmark, tmp_path, kron_graph):
+    """Full dataset-pipeline shape: write, then re-ingest via the loader."""
+    path = tmp_path / "g.el"
+    write_edge_list(kron_graph, path)
+    benchmark.group = "io:read"
+    result = benchmark.pedantic(
+        lambda: load_graph_file(path), rounds=5, warmup_rounds=1
+    )
+    assert result == kron_graph

@@ -12,6 +12,7 @@ Subcommands::
                         [--breaker-threshold K]
     python -m repro tables --results results.json
     python -m repro graphs [--scale N]          # Table I
+    python -m repro datasets [REF ...] [--dataset-dir DIR] [--stats]
     python -m repro compare --results results.json
     python -m repro generate road --scale N --out road.el [--weighted]
     python -m repro report --results results.json --out report.md
@@ -32,7 +33,11 @@ Subcommands::
 Tables IV/V; ``compare`` scores the results against the paper's published
 Table V (direction agreement / rank correlation); ``generate`` writes a
 corpus graph to a GAP-style edge-list file; ``report`` renders a saved
-campaign as markdown.  The ``archive`` / ``history`` / ``diff`` / ``gate``
+campaign as markdown.  The graphs axis of ``run`` and ``submit`` accepts
+generator names *and* dataset references (``file:/path/to/graph.mtx``,
+``dataset:NAME`` — see docs/DATASETS.md); ``datasets`` lists the
+registered dataset directory (or describes explicit references) with
+content digests.  The ``archive`` / ``history`` / ``diff`` / ``gate``
 family stores every campaign in an append-only archive and statistically
 compares runs — ``gate --fail-on-regression`` exits non-zero when a cell
 regresses beyond the noise threshold (see ``repro.store``).
@@ -111,6 +116,52 @@ def _split(value: str, allowed: tuple[str, ...], label: str) -> list[str]:
     return names
 
 
+def _split_graphs(value: str) -> list[str]:
+    """Graphs axis: generator names plus ``file:``/``dataset:`` references.
+
+    References are resolved immediately so a typo'd path dies with a
+    one-line error before any generation or measurement starts.
+    """
+    from .errors import ReproError
+    from .graphs.datasets import is_dataset_ref, resolve
+
+    names = [item.strip() for item in value.split(",") if item.strip()]
+    unknown = [
+        name
+        for name in names
+        if name not in GRAPH_NAMES and not is_dataset_ref(name)
+    ]
+    if unknown:
+        raise SystemExit(
+            f"unknown graph: {unknown} (allowed: {list(GRAPH_NAMES)} "
+            "or file:/dataset: references)"
+        )
+    for name in names:
+        if is_dataset_ref(name):
+            try:
+                resolve(name)
+            except ReproError as exc:
+                raise SystemExit(f"cannot resolve {name!r}: {exc}")
+    return names
+
+
+def _result_graphs(results: ResultSet) -> list[str]:
+    """Graph axis of a saved ResultSet, in canonical order.
+
+    Generator graphs keep Table I order; file-backed graphs (dataset
+    references recorded in the cells) follow in order of appearance, so
+    tables over ``run --graphs file:...`` output are not silently empty.
+    """
+    present = {result.graph for result in results}
+    graphs = [g for g in GRAPH_NAMES if g in present]
+    seen = set(graphs)
+    for result in results:
+        if result.graph not in seen:
+            seen.add(result.graph)
+            graphs.append(result.graph)
+    return graphs
+
+
 def _resolve_results(
     ref: str, archive_dir: str | None
 ) -> tuple[str, ResultSet, dict[str, object] | None]:
@@ -151,7 +202,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         get(name)
         for name in _split(args.frameworks, EXTENDED_FRAMEWORK_NAMES, "framework")
     ]
-    graphs = _split(args.graphs, GRAPH_NAMES, "graph")
+    graphs = _split_graphs(args.graphs)
     kernels = _split(args.kernels, KERNELS, "kernel")
     modes = [Mode(mode) for mode in args.modes.split(",")]
     if args.resume and not args.journal:
@@ -244,7 +295,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_tables(args: argparse.Namespace) -> int:
     results = ResultSet.load_json(args.results)
-    graphs = [g for g in GRAPH_NAMES if results.lookup(graph=g)]
+    graphs = _result_graphs(results)
     print(render(table4_rows(results, graphs), "Table IV"))
     print(render(table5_rows(results, graphs), "Table V"))
     return 0
@@ -252,6 +303,53 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 
 def _cmd_graphs(args: argparse.Namespace) -> int:
     print(render(table1_rows(build_corpus(scale=args.scale)), "Table I"))
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .graphs.datasets import list_datasets, resolve
+
+    if args.refs:
+        try:
+            infos = [resolve(ref, dataset_dir=args.dataset_dir) for ref in args.refs]
+        except ReproError as exc:
+            raise SystemExit(str(exc))
+    else:
+        infos = list_datasets(dataset_dir=args.dataset_dir)
+        if not infos:
+            print(
+                "no registered datasets "
+                "(set $REPRO_DATASET_DIR or create ./datasets; "
+                "file:/path references work without registration)"
+            )
+            return 0
+    print(f"{'name':<20} {'format':<6} {'bytes':>10}  digest (sha256)")
+    for info in infos:
+        print(
+            f"{info.name:<20} {info.format:<6} {info.size_bytes:>10}  "
+            f"{info.digest[:16]}  {info.path}"
+        )
+    if args.stats:
+        from .graphs.statistics import summarize
+
+        for info in infos:
+            graph = info.load()
+            summary = summarize(graph, name=info.name)
+            p50, p90, p99 = summary.degree_percentiles
+            print(
+                f"\n{info.name}: n={graph.num_vertices} m={graph.num_edges} "
+                f"directed={graph.directed}"
+            )
+            print(
+                f"  degree p50/p90/p99: {p50:.0f}/{p90:.0f}/{p99:.0f} "
+                f"(max out-degree {summary.max_out_degree})"
+            )
+            print(
+                f"  assortativity={summary.assortativity:.3f} "
+                f"reciprocity={summary.reciprocity:.3f} "
+                f"clustering={summary.global_clustering:.4f}"
+            )
     return 0
 
 
@@ -284,7 +382,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     results = ResultSet.load_json(args.results)
-    graphs = [g for g in GRAPH_NAMES if results.lookup(graph=g)]
+    graphs = _result_graphs(results)
     write_markdown_report(results, graphs, args.out)
     print(f"markdown report written to {args.out}")
     return 0
@@ -689,6 +787,25 @@ def main(argv: list[str] | None = None) -> int:
     graphs_parser = sub.add_parser("graphs", help="print Table I for the corpus")
     graphs_parser.add_argument("--scale", type=int, default=DEFAULT_SCALE)
     graphs_parser.set_defaults(fn=_cmd_graphs)
+
+    datasets_parser = sub.add_parser(
+        "datasets", help="list or describe file-backed datasets"
+    )
+    datasets_parser.add_argument(
+        "refs", nargs="*", metavar="REF",
+        help="dataset references (file:/path or dataset:NAME) to describe; "
+        "with none given, lists the registered dataset directory",
+    )
+    datasets_parser.add_argument(
+        "--dataset-dir", default=None, metavar="DIR",
+        help="dataset registry directory "
+        "(default: $REPRO_DATASET_DIR or ./datasets)",
+    )
+    datasets_parser.add_argument(
+        "--stats", action="store_true",
+        help="load each dataset and print topology statistics",
+    )
+    datasets_parser.set_defaults(fn=_cmd_datasets)
 
     compare_parser = sub.add_parser("compare", help="score results against the paper")
     compare_parser.add_argument("--results", required=True)

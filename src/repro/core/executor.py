@@ -50,6 +50,12 @@ whose worker died twice falls back to in-parent execution, an open
 circuit breaker prunes its combo's cells out of still-queued batches as
 ``skipped`` results, and every finalized cell is durably appended to
 the checkpoint journal the moment it completes.
+
+The graph axis may include file-backed datasets (``file:``/``dataset:``
+references, :mod:`repro.graphs.datasets`) with no executor-visible
+difference: the parent ingests each file exactly once in ``build_case``
+and publishes the resulting CSR views through the shared-memory corpus
+like any generated graph — workers never touch the filesystem.
 """
 
 from __future__ import annotations

@@ -97,7 +97,32 @@ def build_case(graph_name: str, spec: BenchmarkSpec, cache: GraphCache | None = 
     A cache hit skips generation *and* derived-view construction entirely
     (the artifact stores all three views with their aliasing); a miss
     builds the case and persists it for the next campaign.
+
+    ``graph_name`` may be a dataset reference (``file:...`` /
+    ``dataset:...``): the file is resolved once here in the parent, its
+    case is cached under the file's SHA-256 content digest (renames hit,
+    edits miss), and parallel executors publish the built case over shared
+    memory — workers never touch the file.
     """
+    from ..graphs.datasets import is_dataset_ref, resolve
+
+    if is_dataset_ref(graph_name):
+        info = resolve(graph_name)
+        if cache is not None:
+            views = cache.load_dataset_views(info.digest, spec.seed)
+            if views is not None:
+                return GraphCase(graph_name, *views)
+        case = GraphCase.from_graph(graph_name, info.load(), seed=spec.seed)
+        if cache is not None:
+            try:
+                cache.store_dataset_views(
+                    info.digest, spec.seed,
+                    case.graph, case.weighted, case.undirected,
+                )
+            except OSError:
+                pass
+        return case
+
     if cache is not None:
         plan = active_plan(spec)
         if plan:
@@ -463,6 +488,14 @@ def run_suite(
 
     mode_values = [mode.value for mode in modes]
     framework_names = [framework.name for framework in frameworks]
+    # Resolve any file-backed dataset references up front: an unreadable
+    # file fails the campaign before anything executes, and the resulting
+    # provenance map (ref -> path/digest/format) rides in the results meta,
+    # the archive manifest, and the journal fingerprint so every consumer
+    # can identify cells by content digest without touching the file.
+    from ..graphs.datasets import graph_identities
+
+    _, dataset_provenance = graph_identities(graph_names)
     campaign_meta: dict[str, object] = {
         "spec": spec.as_dict(),
         "environment": fingerprint(),
@@ -473,12 +506,15 @@ def run_suite(
         "jobs": effective_jobs,
         "pool": spec.pool,
     }
+    if dataset_provenance:
+        campaign_meta["datasets"] = dataset_provenance
 
     completed: dict[tuple[str, str, str, str], RunResult] = {}
     journal_obj: CheckpointJournal | None = None
     if journal is not None:
         cell_fingerprint = campaign_fingerprint(
-            spec, graph_names, kernels, mode_values, framework_names
+            spec, graph_names, kernels, mode_values, framework_names,
+            datasets=dataset_provenance or None,
         )
         if resume:
             journal_obj, completed = CheckpointJournal.resume(

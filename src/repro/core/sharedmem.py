@@ -20,6 +20,12 @@ it when the campaign ends; workers attach (:func:`attach_case`) and drop
 their mapping at process exit.  Attached views are marked read-only so a
 kernel that mutates its input fails loudly instead of corrupting the
 corpus for every other cell.
+
+File-backed datasets (:mod:`repro.graphs.datasets`) ride the same path:
+the parent parses the file once while building the case, and workers
+attach the published CSR arrays — a worker never opens or re-reads the
+dataset file, so campaign behavior cannot depend on the file still
+existing (or still having the same bytes) after the corpus is built.
 """
 
 from __future__ import annotations

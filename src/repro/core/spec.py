@@ -15,6 +15,13 @@ Encodes the rules of the benchmark the paper runs:
 
 Trial counts are scaled down from GAP's 64 to keep the pure-Python sweep
 tractable; they are spec parameters, not constants.
+
+The graph axis a spec is run over may name generator graphs *or*
+file-backed datasets (``file:/path``, ``dataset:NAME`` — see
+:mod:`repro.graphs.datasets`).  ``scale`` does not apply to file-backed
+topology, but ``seed`` still keys the synthetic SSSP weights attached to
+unweighted inputs, and ``delta_for`` falls back to the default delta for
+graphs outside :data:`DELTA_BY_GRAPH`.
 """
 
 from __future__ import annotations

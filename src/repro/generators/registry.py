@@ -159,7 +159,18 @@ GRAPH_NAMES: tuple[str, ...] = tuple(GAP_GRAPHS)
 
 
 def build_graph(name: str, scale: int = DEFAULT_SCALE, seed: int = 0) -> CSRGraph:
-    """Build one corpus graph by name."""
+    """Build one corpus graph by name, or load a dataset reference.
+
+    ``name`` may also be a dataset reference (``file:/path/to/x.mtx`` or
+    ``dataset:NAME`` — see :mod:`repro.graphs.datasets`), in which case the
+    file defines the topology and ``scale``/``seed`` are ignored here
+    (``seed`` still keys the synthetic SSSP weights derived later by
+    :func:`weighted_version`).
+    """
+    from ..graphs.datasets import is_dataset_ref, load_dataset_graph
+
+    if is_dataset_ref(name):
+        return load_dataset_graph(name)
     try:
         spec = GAP_GRAPHS[name.lower()]
     except KeyError:

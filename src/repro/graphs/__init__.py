@@ -7,8 +7,26 @@ edge directions, with deduplicated, destination-sorted adjacency.
 
 from .cache import GraphCache, decompose_case, default_cache_dir, recompose_case
 from .csr import CSRGraph
+from .datasets import (
+    DatasetInfo,
+    dataset_digest,
+    dataset_identity,
+    graph_identities,
+    is_dataset_ref,
+    list_datasets,
+    load_dataset_graph,
+    resolve,
+)
 from .edgelist import EdgeList
-from .io import load_npz, read_edge_list, save_npz, write_edge_list
+from .io import (
+    file_digest,
+    load_graph_file,
+    load_npz,
+    read_edge_list,
+    read_mtx,
+    save_npz,
+    write_edge_list,
+)
 from .properties import (
     GraphProperties,
     analyze,
@@ -55,8 +73,19 @@ __all__ = [
     "lower_triangle_counts",
     "permute",
     "relabel_by_degree",
+    "DatasetInfo",
+    "dataset_digest",
+    "dataset_identity",
+    "file_digest",
+    "graph_identities",
+    "is_dataset_ref",
+    "list_datasets",
+    "load_dataset_graph",
+    "load_graph_file",
     "load_npz",
     "read_edge_list",
+    "read_mtx",
+    "resolve",
     "save_npz",
     "write_edge_list",
 ]

@@ -16,8 +16,13 @@ atomic (temp file + ``os.replace``) and every artifact carries a SHA-256
 sidecar that is validated on load, so a torn or corrupted file degrades
 to a cache miss instead of a wrong graph.
 
-Keys include :data:`repro.generators.registry.GENERATOR_VERSION`; bumping
-it when generator logic changes invalidates every stale artifact.
+Generated-corpus keys include
+:data:`repro.generators.registry.GENERATOR_VERSION`; bumping it when
+generator logic changes invalidates every stale artifact.  File-backed
+datasets (:mod:`repro.graphs.datasets`) are keyed by the input file's
+SHA-256 *content digest* instead — no generator made them, so the version
+is irrelevant, and digest keying gives exactly the right invalidation:
+renames hit, byte edits miss.
 
 This module also provides the case (de)composition helpers —
 :func:`decompose_case` / :func:`recompose_case` — used by
@@ -194,6 +199,18 @@ class GraphCache:
         """Artifact path for one ``(name, scale, seed, version)`` key."""
         return self.root / f"{name}-s{scale}-r{seed}-g{self.version}.npz"
 
+    def dataset_path_for(self, digest: str, seed: int) -> Path:
+        """Artifact path for a file-backed dataset case.
+
+        Keyed by the file's SHA-256 *content digest*, not its path and not
+        :data:`GENERATOR_VERSION`: renaming a dataset file keeps its cache
+        entry warm, editing a byte misses and rebuilds, and generator-logic
+        bumps never touch it (no generator produced it).  ``seed`` stays in
+        the key because the weighted SSSP view's synthetic weights are a
+        function of it.
+        """
+        return self.root / f"dataset-{digest[:16]}-r{seed}.npz"
+
     @staticmethod
     def _checksum_path(path: Path) -> Path:
         return path.with_suffix(path.suffix + ".sha256")
@@ -209,18 +226,41 @@ class GraphCache:
         weighted: CSRGraph,
         undirected: CSRGraph,
     ) -> Path:
-        """Atomically persist one case; returns the artifact path."""
-        layout, arrays = decompose_case(graph, weighted, undirected)
-        meta = {
-            "key": {
-                "name": name,
-                "scale": int(scale),
-                "seed": int(seed),
-                "version": self.version,
-            },
-            "layout": layout,
+        """Atomically persist one generated case; returns the artifact path."""
+        key = {
+            "name": name,
+            "scale": int(scale),
+            "seed": int(seed),
+            "version": self.version,
         }
-        path = self.path_for(name, scale, seed)
+        return self._store_case(
+            self.path_for(name, scale, seed), key, graph, weighted, undirected
+        )
+
+    def store_dataset_views(
+        self,
+        digest: str,
+        seed: int,
+        graph: CSRGraph,
+        weighted: CSRGraph,
+        undirected: CSRGraph,
+    ) -> Path:
+        """Persist a file-backed case under its content digest."""
+        key = {"digest": digest, "seed": int(seed)}
+        return self._store_case(
+            self.dataset_path_for(digest, seed), key, graph, weighted, undirected
+        )
+
+    def _store_case(
+        self,
+        path: Path,
+        key: dict[str, object],
+        graph: CSRGraph,
+        weighted: CSRGraph,
+        undirected: CSRGraph,
+    ) -> Path:
+        layout, arrays = decompose_case(graph, weighted, undirected)
+        meta = {"key": key, "layout": layout}
         self.root.mkdir(parents=True, exist_ok=True)
         payload = {f"array_{i}": array for i, array in enumerate(arrays)}
         payload["meta"] = np.array(json.dumps(meta))
@@ -246,8 +286,23 @@ class GraphCache:
     def load_views(
         self, name: str, scale: int, seed: int
     ) -> tuple[CSRGraph, CSRGraph, CSRGraph] | None:
-        """Load a cached case, or None on any miss/stale/corrupt artifact."""
-        path = self.path_for(name, scale, seed)
+        """Load a cached generated case, or None on miss/stale/corrupt."""
+        return self._load_case(self.path_for(name, scale, seed))
+
+    def load_dataset_views(
+        self, digest: str, seed: int
+    ) -> tuple[CSRGraph, CSRGraph, CSRGraph] | None:
+        """Load a file-backed case by content digest (None on any miss).
+
+        A hit requires only that some file with these exact bytes was
+        ingested before — the original path may have been renamed or
+        deleted since; an edited file presents a new digest and misses.
+        """
+        return self._load_case(self.dataset_path_for(digest, seed))
+
+    def _load_case(
+        self, path: Path
+    ) -> tuple[CSRGraph, CSRGraph, CSRGraph] | None:
         checksum_path = self._checksum_path(path)
         if not path.exists() and not checksum_path.exists():
             self.misses += 1

@@ -57,6 +57,7 @@ def campaign_fingerprint(
     kernels: Iterable[str],
     modes: Iterable[str],
     frameworks: Iterable[str],
+    datasets: dict[str, dict[str, object]] | None = None,
 ) -> dict[str, object]:
     """Identity of a campaign for resume validation.
 
@@ -70,6 +71,15 @@ def campaign_fingerprint(
     interchangeable across serial, process-pool, and thread-pool runs,
     so a campaign interrupted under one topology may resume under
     another (e.g. finish a crashed ``--jobs 8`` run serially).
+
+    ``datasets`` is the provenance map for file-backed graph-axis entries
+    (ref -> path/digest/format, see
+    :func:`repro.graphs.datasets.graph_identities`).  Including it makes
+    the *bytes* of a dataset part of campaign identity: a journal written
+    against one version of a file refuses to resume after the file is
+    edited, exactly like a changed spec — and service recovery can
+    re-derive content-addressed cell digests from the recorded map without
+    the original file existing anymore.
     """
     from ..store.environment import fingerprint
 
@@ -78,7 +88,7 @@ def campaign_fingerprint(
         for key, value in spec.as_dict().items()
         if key not in ("jobs", "pool", "batch_size")
     }
-    return {
+    identity: dict[str, object] = {
         "spec": spec_identity,
         "graphs": list(graphs),
         "kernels": list(kernels),
@@ -86,6 +96,9 @@ def campaign_fingerprint(
         "frameworks": list(frameworks),
         "environment": fingerprint(),
     }
+    if datasets:
+        identity["datasets"] = {ref: dict(entry) for ref, entry in datasets.items()}
+    return identity
 
 
 def _fingerprint_errors(
@@ -95,7 +108,7 @@ def _fingerprint_errors(
     from ..store.environment import fingerprint_mismatches
 
     problems = []
-    for key in ("spec", "graphs", "kernels", "modes", "frameworks"):
+    for key in ("spec", "graphs", "kernels", "modes", "frameworks", "datasets"):
         if recorded.get(key) != current.get(key):
             problems.append(key)
     env_mismatch = fingerprint_mismatches(

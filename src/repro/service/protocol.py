@@ -23,7 +23,14 @@ The response is a stream of newline-delimited JSON events:
     Terminal event: totals, and ``fresh_run_id`` if this submission
     caused an execution that was archived.
 ``error``
-    Terminal event on rejection (capacity, engine failure).
+    Terminal event on rejection (capacity, engine failure, or a dataset
+    reference that does not resolve on the server's filesystem).
+
+The graphs axis accepts generator names (``road``, ``kron``, ...) and
+dataset references (``file:/path/on/server.mtx``, ``dataset:NAME`` — see
+:mod:`repro.graphs.datasets`).  References are resolved server-side: the
+cell digests for file-backed cells are keyed on the file's *content
+digest*, so two clients referencing byte-identical files share cells.
 """
 
 from __future__ import annotations
@@ -72,6 +79,33 @@ def _validate_axis(
         raise ServiceError(f"duplicate {name} in {list(values)}")
 
 
+def _validate_graphs(values: tuple[str, ...]) -> None:
+    """Graphs axis: generator names plus dataset references.
+
+    References (``file:/path`` / ``dataset:NAME``) are validated
+    *syntactically* here — whether the path resolves is the server's
+    business at submission time, because the file lives on the server's
+    filesystem, not the client's.  An unresolvable reference becomes a
+    structured ``error`` event, not a protocol error.
+    """
+    from ..graphs.datasets import is_dataset_ref
+
+    if not values:
+        raise ServiceError("campaign request has no graphs")
+    unknown = [
+        value
+        for value in values
+        if value not in GRAPH_NAMES and not is_dataset_ref(value)
+    ]
+    if unknown:
+        raise ServiceError(
+            f"unknown graphs {unknown!r} (allowed: {list(GRAPH_NAMES)} "
+            "or file:/dataset: references)"
+        )
+    if len(set(values)) != len(values):
+        raise ServiceError(f"duplicate graphs in {list(values)}")
+
+
 @dataclass(frozen=True)
 class CampaignRequest:
     """One validated campaign submission.
@@ -94,7 +128,7 @@ class CampaignRequest:
     trial_timeout: float | None = None
 
     def __post_init__(self) -> None:
-        _validate_axis("graphs", self.graphs, GRAPH_NAMES)
+        _validate_graphs(self.graphs)
         _validate_axis("kernels", self.kernels, KERNELS)
         _validate_axis("frameworks", self.frameworks, EXTENDED_FRAMEWORK_NAMES)
         _validate_axis("modes", self.modes, MODE_VALUES)

@@ -46,9 +46,15 @@ from ..errors import JournalError, ReproError, ServiceError
 from ..frameworks import Mode
 from ..frameworks.registry import get as get_framework
 from ..graphs.cache import GraphCache
+from ..graphs.datasets import graph_identities
 from ..resilience.journal import CheckpointJournal, campaign_fingerprint, read_journal
 from ..store.archive import RunArchive
-from ..store.cellindex import CellIndex, cell_digest, identity_hasher
+from ..store.cellindex import (
+    CellIndex,
+    cell_digest,
+    identity_hasher,
+    normalize_cell_key,
+)
 from ..store.environment import fingerprint
 from .protocol import CampaignRequest, encode_event
 
@@ -75,9 +81,9 @@ class _Inflight:
 class _Job:
     """One enqueued execution: a request's owned misses."""
 
-    __slots__ = ("request", "spec", "hasher", "owned", "queue", "seq")
+    __slots__ = ("request", "spec", "hasher", "owned", "queue", "seq", "datasets")
 
-    def __init__(self, request, spec, hasher, owned, queue, seq) -> None:
+    def __init__(self, request, spec, hasher, owned, queue, seq, datasets) -> None:
         self.request = request
         self.spec = spec
         self.hasher = hasher
@@ -85,6 +91,9 @@ class _Job:
         self.owned = owned
         self.queue = queue
         self.seq = seq
+        #: Dataset provenance map (ref -> path/digest/format entry) for
+        #: file-backed graphs on the request's axes; empty otherwise.
+        self.datasets = datasets
 
 
 class BenchmarkService:
@@ -149,6 +158,21 @@ class BenchmarkService:
         blocks between events while misses execute.
         """
         spec = request.spec()
+        # Resolve dataset references before anything is classified or
+        # enqueued: the files live on the *server's* filesystem, so an
+        # unresolvable reference is a structured error event, not a
+        # protocol rejection (and certainly not an engine crash).
+        try:
+            _, datasets = graph_identities(request.graphs)
+        except ReproError as exc:
+            yield encode_event(
+                {
+                    "event": "error",
+                    "campaign": request.campaign_id,
+                    "message": f"dataset resolution failed: {exc}",
+                }
+            )
+            return
         hasher = identity_hasher(spec)
         cells = request.cell_keys()
         queue: SimpleQueue = SimpleQueue()
@@ -160,7 +184,9 @@ class BenchmarkService:
             self.stats["submissions"] += 1
             self.stats["cells_requested"] += len(cells)
             for key in cells:
-                digest = cell_digest(None, key, hasher=hasher)
+                digest = cell_digest(
+                    None, normalize_cell_key(key, datasets), hasher=hasher
+                )
                 line = self._hit_line_locked(digest)
                 if line is not None:
                     hit_lines.append(line)
@@ -187,7 +213,7 @@ class BenchmarkService:
             with self._lock:
                 self._job_seq += 1
                 seq = self._job_seq
-            job = _Job(request, spec, hasher, owned, queue, seq)
+            job = _Job(request, spec, hasher, owned, queue, seq, datasets)
             try:
                 self._queue.put_nowait(job)
             except Full:
@@ -296,10 +322,14 @@ class BenchmarkService:
         hasher = identity_hasher(
             spec, environment if isinstance(environment, dict) else None
         )
+        datasets = record.manifest.get("datasets")
+        datasets = datasets if isinstance(datasets, dict) else None
         for result in results:
             if not result.ok:
                 continue
-            digest = cell_digest(None, result.cell_key, hasher=hasher)
+            digest = cell_digest(
+                None, normalize_cell_key(result.cell_key, datasets), hasher=hasher
+            )
             if digest not in self._results:
                 self._cache_result_locked(
                     digest, result.cell_key, result.as_dict(), run_id
@@ -374,7 +404,11 @@ class BenchmarkService:
                             key = (graph, mode, kernel, framework)
                             if key in owned_keys:
                                 continue
-                            digest = cell_digest(None, key, hasher=job.hasher)
+                            digest = cell_digest(
+                                None,
+                                normalize_cell_key(key, job.datasets),
+                                hasher=job.hasher,
+                            )
                             entry = self._results.get(digest)
                             if entry is not None:
                                 completed[key] = RunResult.from_dict(
@@ -385,15 +419,27 @@ class BenchmarkService:
 
         spec = job.spec
         journal_path = self.journal_dir / f"job-{request.campaign_id}-{job.seq}.jsonl"
+        job_datasets = {
+            ref: entry for ref, entry in job.datasets.items() if ref in graphs
+        }
         journal = CheckpointJournal.create(
             journal_path,
-            campaign_fingerprint(spec, graphs, kernels, modes, frameworks),
+            campaign_fingerprint(
+                spec,
+                graphs,
+                kernels,
+                modes,
+                frameworks,
+                datasets=job_datasets or None,
+            ),
         )
         executed: list[tuple[str, tuple[str, str, str, str], RunResult]] = []
 
         def on_result(cell, result: RunResult) -> None:
             key = (cell.graph, cell.mode.value, cell.kernel, cell.framework)
-            digest = cell_digest(None, key, hasher=job.hasher)
+            digest = cell_digest(
+                None, normalize_cell_key(key, job.datasets), hasher=job.hasher
+            )
             line = encode_event(
                 {
                     "event": "cell",
@@ -452,6 +498,7 @@ class BenchmarkService:
                 "modes": modes,
                 "frameworks": frameworks,
                 "service": {"campaign": request.campaign_id, "job": job.seq},
+                **({"datasets": job_datasets} if job_datasets else {}),
             },
         )
         record = self.archive.archive_run(
@@ -520,6 +567,8 @@ class BenchmarkService:
                 continue
             spec = recorded.get("spec")
             environment = recorded.get("environment")
+            datasets = recorded.get("datasets")
+            datasets = datasets if isinstance(datasets, dict) else None
             if isinstance(spec, dict) and completed:
                 hasher = identity_hasher(
                     spec, environment if isinstance(environment, dict) else None
@@ -530,6 +579,7 @@ class BenchmarkService:
                         "spec": spec,
                         "environment": environment,
                         "service": {"recovered_from": path.name},
+                        **({"datasets": datasets} if datasets else {}),
                     },
                 )
                 record = self.archive.archive_run(
@@ -538,7 +588,11 @@ class BenchmarkService:
                 self.index.add_many(
                     [
                         (
-                            cell_digest(None, result.cell_key, hasher=hasher),
+                            cell_digest(
+                                None,
+                                normalize_cell_key(result.cell_key, datasets),
+                                hasher=hasher,
+                            ),
                             record.run_id,
                             result.cell_key,
                         )

@@ -196,6 +196,16 @@ class RunArchive:
         resilience = results.meta.get("resilience")
         if isinstance(resilience, dict):
             manifest["resilience"] = dict(resilience)
+        # Dataset provenance: for file-backed graphs the manifest records
+        # ref -> {path, digest, format, bytes}, so cell-index rebuilds and
+        # the regression gate can identify cells by content digest long
+        # after the original file moved or disappeared.
+        datasets = results.meta.get("datasets")
+        if isinstance(datasets, dict) and datasets:
+            manifest["datasets"] = {
+                ref: dict(entry) if isinstance(entry, dict) else entry
+                for ref, entry in datasets.items()
+            }
 
         # Stage the whole run directory, then rename into place: a crash
         # mid-archive leaves only a .tmp directory, never a partial run.

@@ -29,9 +29,16 @@ Likewise ``git_sha`` and wall-clock metadata stay out: only the
 environment participates, matching what the regression gate considers
 "the same machine".
 
+For file-backed datasets (:mod:`repro.graphs.datasets`) the graph element
+of the cell key is *normalized to the file's content digest* before
+hashing (:func:`normalize_cell_key`): two submissions referencing
+byte-identical files share cells regardless of path, while an edited file
+is a different measurement and misses.
+
 A lost or corrupt index is a cache, not the source of truth:
 :meth:`CellIndex.rebuild_from_archive` re-derives every entry from the
-archived manifests + results.
+archived manifests + results (dataset provenance travels in the
+manifests, so rebuilding never needs the original files).
 """
 
 from __future__ import annotations
@@ -53,6 +60,7 @@ __all__ = [
     "cell_digest",
     "comparable_environment",
     "identity_hasher",
+    "normalize_cell_key",
     "spec_identity",
 ]
 
@@ -122,6 +130,33 @@ def identity_hasher(spec, environment: dict[str, object] | None = None):
         }
     )
     return hashlib.sha256(prefix.encode())
+
+
+def normalize_cell_key(
+    cell_key: Iterable[str],
+    datasets: dict[str, object] | None = None,
+) -> CellKey:
+    """Replace a file-backed graph reference with its content identity.
+
+    ``datasets`` is a provenance map (ref -> entry carrying ``digest``),
+    as recorded in archive manifests, journal fingerprints, and results
+    meta by :func:`repro.graphs.datasets.graph_identities`.  The graph
+    element of a cell key is the reference the client submitted
+    (``file:/some/path.mtx``); hashing *that* would make cell identity
+    path-sensitive — renames would miss and edits would hit.  Mapping it
+    to :func:`repro.graphs.datasets.dataset_identity` (``file:sha256:...``)
+    before digesting keys the memo on the bytes instead.  Generator graph
+    names (and keys with no provenance entry) pass through unchanged.
+    """
+    key = tuple(str(part) for part in cell_key)
+    if datasets:
+        entry = datasets.get(key[0])
+        digest = entry.get("digest") if isinstance(entry, dict) else entry
+        if digest:
+            from ..graphs.datasets import dataset_identity
+
+            return (dataset_identity(str(digest)),) + key[1:]
+    return key
 
 
 def cell_digest(
@@ -310,10 +345,13 @@ class CellIndex:
             if not isinstance(spec, dict):
                 continue
             env = environment if isinstance(environment, dict) else None
+            datasets = record.manifest.get("datasets")
+            datasets = datasets if isinstance(datasets, dict) else None
             hasher = identity_hasher(spec, env)
             batch = []
             for result in results:
-                digest = cell_digest(spec, result.cell_key, hasher=hasher)
+                key = normalize_cell_key(result.cell_key, datasets)
+                digest = cell_digest(spec, key, hasher=hasher)
                 batch.append((digest, run_id, result.cell_key))
             indexed += self.add_many(batch)
         return indexed

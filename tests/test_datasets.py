@@ -1,0 +1,294 @@
+"""Tests for file-backed dataset ingestion: registry, cache, service.
+
+The identity invariant under test throughout: a dataset is its *bytes*.
+Renaming a file must keep hitting every cache (content digest unchanged);
+editing a file must miss everywhere (graph cache, memo index, journal
+fingerprint) even when the path is unchanged.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.core import BenchmarkSpec, run_suite
+from repro.core.runner import build_case
+from repro.errors import GraphFormatError, ServiceError, UnknownGraphError
+from repro.frameworks import Mode, get
+from repro.generators import build_graph
+from repro.graphs import GraphCache
+from repro.graphs.datasets import (
+    DatasetInfo,
+    dataset_digest,
+    dataset_identity,
+    graph_identities,
+    is_dataset_ref,
+    list_datasets,
+    load_dataset_graph,
+    resolve,
+)
+from repro.store.cellindex import normalize_cell_key
+
+FIXTURE = Path(__file__).parent / "fixtures" / "demo.mtx"
+
+
+@pytest.fixture()
+def mtx_file(tmp_path) -> Path:
+    path = tmp_path / "demo.mtx"
+    shutil.copy(FIXTURE, path)
+    return path
+
+
+class TestResolve:
+    def test_ref_syntax(self):
+        assert is_dataset_ref("file:/x/y.el")
+        assert is_dataset_ref("dataset:road-usa")
+        assert not is_dataset_ref("road")
+        assert not is_dataset_ref("file:")
+        assert not is_dataset_ref("dataset:")
+
+    def test_file_ref(self, mtx_file):
+        info = resolve(f"file:{mtx_file}")
+        assert isinstance(info, DatasetInfo)
+        assert info.format == "mtx"
+        assert info.name == "demo"
+        assert info.size_bytes == mtx_file.stat().st_size
+        assert info.identity == dataset_identity(info.digest)
+        provenance = info.provenance()
+        assert provenance["digest"] == info.digest
+        assert provenance["format"] == "mtx"
+
+    def test_load(self, mtx_file):
+        graph = resolve(f"file:{mtx_file}").load()
+        assert graph.num_vertices == 12
+        assert not graph.directed
+        assert load_dataset_graph(f"file:{mtx_file}") == graph
+        # build_graph delegates refs to the dataset loader.
+        assert build_graph(f"file:{mtx_file}") == graph
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(UnknownGraphError):
+            resolve(f"file:{tmp_path / 'nope.mtx'}")
+
+    def test_unsupported_extension(self, tmp_path):
+        path = tmp_path / "graph.csv"
+        path.write_text("0,1\n", encoding="ascii")
+        with pytest.raises(GraphFormatError):
+            resolve(f"file:{path}")
+
+    def test_registry_dir(self, mtx_file, tmp_path):
+        registry = tmp_path / "registry"
+        registry.mkdir()
+        shutil.copy(mtx_file, registry / "demo.mtx")
+        info = resolve("dataset:demo", dataset_dir=registry)
+        assert info.name == "demo"
+        assert info.digest == dataset_digest(mtx_file)
+        names = [entry.name for entry in list_datasets(dataset_dir=registry)]
+        assert names == ["demo"]
+
+    def test_unregistered_name(self, tmp_path):
+        registry = tmp_path / "empty"
+        registry.mkdir()
+        with pytest.raises(UnknownGraphError):
+            resolve("dataset:demo", dataset_dir=registry)
+
+
+class TestDigest:
+    def test_rename_keeps_digest(self, mtx_file, tmp_path):
+        digest = dataset_digest(mtx_file)
+        renamed = tmp_path / "other-name.mtx"
+        mtx_file.rename(renamed)
+        assert dataset_digest(renamed) == digest
+
+    def test_edit_changes_digest(self, mtx_file):
+        before = dataset_digest(mtx_file)
+        mtx_file.write_text(
+            mtx_file.read_text(encoding="ascii") + "% edited\n", encoding="ascii"
+        )
+        assert dataset_digest(mtx_file) != before
+
+    def test_graph_identities(self, mtx_file):
+        ref = f"file:{mtx_file}"
+        identities, provenance = graph_identities(["urand", ref])
+        assert identities["urand"] == "urand"
+        assert identities[ref] == dataset_identity(dataset_digest(mtx_file))
+        assert set(provenance) == {ref}
+        assert provenance[ref]["digest"] == dataset_digest(mtx_file)
+
+    def test_normalize_cell_key(self, mtx_file):
+        ref = f"file:{mtx_file}"
+        _, provenance = graph_identities([ref])
+        key = (ref, "baseline", "bfs", "gap")
+        normalized = normalize_cell_key(key, provenance)
+        assert normalized[0].startswith("file:sha256:")
+        assert normalized[1:] == key[1:]
+        # Generator names and absent provenance pass through unchanged.
+        assert normalize_cell_key(("urand",) + key[1:], provenance)[0] == "urand"
+        assert normalize_cell_key(key, None) == key
+
+
+class TestGraphCacheKeying:
+    def test_case_cached_by_digest(self, mtx_file, tmp_path):
+        ref = f"file:{mtx_file}"
+        cache = GraphCache(tmp_path / "cache")
+        spec = BenchmarkSpec(scale=5, trials={"bfs": 1})
+        case = build_case(ref, spec, cache)
+        digest = dataset_digest(mtx_file)
+        assert cache.load_dataset_views(digest, spec.seed) is not None
+        # A renamed copy of the same bytes hits the same cache entry.
+        renamed = tmp_path / "renamed.mtx"
+        shutil.copy(mtx_file, renamed)
+        again = build_case(f"file:{renamed}", spec, cache)
+        assert again.graph == case.graph
+        # Edited bytes key a different entry.
+        mtx_file.write_text(
+            mtx_file.read_text(encoding="ascii") + "% edited\n", encoding="ascii"
+        )
+        assert cache.load_dataset_views(dataset_digest(mtx_file), spec.seed) is None
+
+    def test_seed_keys_weights(self, mtx_file, tmp_path):
+        cache = GraphCache(tmp_path / "cache")
+        ref = f"file:{mtx_file}"
+        case0 = build_case(ref, BenchmarkSpec(scale=5, seed=0), cache)
+        case1 = build_case(ref, BenchmarkSpec(scale=5, seed=1), cache)
+        assert case0.weighted != case1.weighted
+
+
+class TestRunSuite:
+    def test_parallel_campaign_on_file_graph(self, mtx_file, tmp_path):
+        ref = f"file:{mtx_file}"
+        spec = BenchmarkSpec(scale=5, trials={"bfs": 1, "cc": 1}, jobs=2)
+        results = run_suite(
+            [get("gap")],
+            [ref],
+            kernels=["bfs", "cc"],
+            modes=[Mode("baseline")],
+            spec=spec,
+            cache=GraphCache(tmp_path / "cache"),
+        )
+        assert len(results) == 2
+        assert not results.failures()
+        provenance = results.meta["datasets"]
+        assert provenance[ref]["digest"] == dataset_digest(mtx_file)
+
+
+@pytest.mark.tier2
+class TestServiceIngestion:
+    def _service(self, tmp_path):
+        from repro.service import BenchmarkService
+
+        return BenchmarkService(
+            archive_dir=tmp_path / "archive", cache_dir=tmp_path / "graphs", jobs=1
+        )
+
+    def _request(self, ref):
+        from repro.service import CampaignRequest
+
+        return CampaignRequest(
+            graphs=(ref,),
+            kernels=("bfs",),
+            frameworks=("gap",),
+            modes=("baseline",),
+            scale=5,
+        )
+
+    @staticmethod
+    def _done(events):
+        return [e for e in events if e["event"] == "done"][0]
+
+    def test_identical_bytes_memoize_across_submissions(self, mtx_file, tmp_path):
+        svc = self._service(tmp_path)
+        try:
+            ref = f"file:{mtx_file}"
+            first = self._done(svc.submit_collect(self._request(ref)))
+            assert first["executed"] == 1 and first["hits"] == 0
+            second = self._done(svc.submit_collect(self._request(ref)))
+            assert second["executed"] == 0 and second["hits"] == 1
+
+            # Same bytes under a new path: content identity still hits.
+            renamed = tmp_path / "renamed.mtx"
+            shutil.copy(mtx_file, renamed)
+            moved = self._done(svc.submit_collect(self._request(f"file:{renamed}")))
+            assert moved["executed"] == 0 and moved["hits"] == 1
+        finally:
+            svc.shutdown()
+
+    def test_edited_file_re_executes(self, mtx_file, tmp_path):
+        svc = self._service(tmp_path)
+        try:
+            ref = f"file:{mtx_file}"
+            first = self._done(svc.submit_collect(self._request(ref)))
+            assert first["executed"] == 1
+            mtx_file.write_text(
+                mtx_file.read_text(encoding="ascii") + "% edited\n",
+                encoding="ascii",
+            )
+            edited = self._done(svc.submit_collect(self._request(ref)))
+            assert edited["executed"] == 1 and edited["hits"] == 0
+        finally:
+            svc.shutdown()
+
+    def test_unresolvable_ref_is_structured_error(self, tmp_path):
+        svc = self._service(tmp_path)
+        try:
+            events = svc.submit_collect(
+                self._request(f"file:{tmp_path / 'gone.mtx'}")
+            )
+            assert events[0]["event"] == "error"
+            assert "dataset" in events[0]["message"]
+        finally:
+            svc.shutdown()
+
+    def test_protocol_rejects_non_ref_junk(self):
+        from repro.service import CampaignRequest
+
+        with pytest.raises(ServiceError):
+            CampaignRequest(
+                graphs=("not-a-graph",),
+                kernels=("bfs",),
+                frameworks=("gap",),
+            )
+
+
+class TestCLI:
+    def test_datasets_describe(self, mtx_file, capsys):
+        from repro.__main__ import main
+
+        assert main(["datasets", f"file:{mtx_file}"]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert dataset_digest(mtx_file)[:16] in out
+
+    def test_datasets_stats(self, mtx_file, capsys):
+        from repro.__main__ import main
+
+        assert main(["datasets", f"file:{mtx_file}", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "n=12" in out
+
+    def test_datasets_registry_listing(self, mtx_file, tmp_path, capsys):
+        from repro.__main__ import main
+
+        registry = tmp_path / "registry"
+        registry.mkdir()
+        shutil.copy(mtx_file, registry / "demo.mtx")
+        assert main(["datasets", "--dataset-dir", str(registry)]) == 0
+        assert "demo" in capsys.readouterr().out
+
+    def test_run_rejects_missing_file(self, tmp_path):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    "--graphs",
+                    f"file:{tmp_path / 'gone.mtx'}",
+                    "--kernels",
+                    "bfs",
+                    "--frameworks",
+                    "gap",
+                ]
+            )
