@@ -550,9 +550,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         journal_dir=args.journal_dir,
         max_pending_jobs=args.max_queue,
         resume=args.resume,
+        min_free_bytes=(
+            None
+            if args.min_free_mb is None
+            else int(args.min_free_mb * 1024 * 1024)
+        ),
     )
     for report in service.recovery_report:
         print(f"recovered: {report}")
+    if service.index_heal_report:
+        print(f"index healed: {service.index_heal_report}")
 
     def ready(host: str, port: int) -> None:
         print(f"repro service listening on http://{host}:{port}", flush=True)
@@ -617,6 +624,16 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                         f"done: {event['cells']} cells, {event['hits']} cached, "
                         f"{event['executed']} executed; {note}"
                     )
+                elif kind == "degraded":
+                    reasons = "; ".join(event.get("reasons") or [])
+                    print(
+                        f"server degraded: {event.get('rejected', 0)} cells "
+                        f"rejected ({reasons}); retry in "
+                        f"{event.get('retry_after_seconds')}s "
+                        f"— {event.get('hits', 0)} cached cells were served",
+                        file=sys.stderr,
+                    )
+                    return 1
                 elif kind == "error":
                     print(f"server error: {event.get('message')}", file=sys.stderr)
                     return 1
@@ -647,10 +664,43 @@ def _cmd_status(args: argparse.Namespace) -> int:
     host, port = _parse_server(args.server)
     try:
         with ServiceClient(host, port, timeout=10.0) as client:
-            print(_json.dumps(client.status(), indent=2, default=str))
+            payload = client.health() if args.health else client.status()
+            print(_json.dumps(payload, indent=2, default=str))
     except ServiceError as exc:
         raise SystemExit(str(exc))
+    if args.health and not payload.get("ok"):
+        return 1
     return 0
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .store.archive import RunArchive
+    from .store.integrity import scrub
+
+    archive = RunArchive(args.archive_dir)
+    report = scrub(archive, quarantine=not args.no_quarantine)
+    payload = report.as_dict()
+    if args.json:
+        print(_json.dumps(payload, indent=2, default=str))
+    else:
+        print(f"archive: {report.archive_root}")
+        print(f"runs checked: {report.checked_runs}")
+        for entry in report.quarantined:
+            problems = "; ".join(str(p) for p in entry.get("problems", []))
+            where = entry.get("quarantined_to", "(reported only)")
+            print(f"  quarantined {entry['run_id']}: {problems} -> {where}")
+        for problem in report.index_problems:
+            print(f"  index: {problem}")
+        if report.index_rebuilt:
+            print(f"cell index rebuilt: {report.index_entries} entries")
+        else:
+            print(f"cell index verified: {report.index_entries} entries")
+        for problem in report.unresolved:
+            print(f"  UNRESOLVED: {problem}")
+        print(f"verdict: {report.verdict}")
+    return 1 if report.verdict == "failed" else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -940,6 +990,12 @@ def main(argv: list[str] | None = None) -> int:
         help="on startup, archive and index completed cells from journals "
         "left behind by a crashed server",
     )
+    serve_parser.add_argument(
+        "--min-free-mb", type=_positive_float, default=None, metavar="MB",
+        help="disk low-watermark at the archive root: below this the "
+        "server degrades to hits-only read-only mode "
+        "(default: $REPRO_MIN_FREE_BYTES or 64 MiB)",
+    )
     serve_parser.set_defaults(fn=_cmd_serve)
 
     submit_parser = sub.add_parser(
@@ -972,7 +1028,34 @@ def main(argv: list[str] | None = None) -> int:
     status_parser.add_argument(
         "--server", default="127.0.0.1:8585", metavar="HOST:PORT",
     )
+    status_parser.add_argument(
+        "--health", action="store_true",
+        help="print the full /health payload (watermarks, degraded "
+        "state, engine/pool liveness, last scrub verdict); exit 1 if "
+        "the server is degraded",
+    )
     status_parser.set_defaults(fn=_cmd_status)
+
+    scrub_parser = sub.add_parser(
+        "scrub",
+        help="verify every archived run + cell-index entry; quarantine "
+        "damage and self-heal the index",
+    )
+    scrub_parser.add_argument(
+        "--archive-dir", default=None, metavar="DIR",
+        help="archive root to scrub "
+        "(default: $REPRO_ARCHIVE_DIR or results/archive)",
+    )
+    scrub_parser.add_argument(
+        "--no-quarantine", action="store_true",
+        help="report damage without moving anything (verdict becomes "
+        "'failed' if damage is found)",
+    )
+    scrub_parser.add_argument(
+        "--json", action="store_true",
+        help="print the full scrub report as JSON",
+    )
+    scrub_parser.set_defaults(fn=_cmd_scrub)
 
     args = parser.parse_args(argv)
     return args.fn(args)

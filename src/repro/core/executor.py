@@ -425,7 +425,9 @@ def run_suite_parallel(
     try:
         # Build the still-needed corpus once (cache-aware) and publish it.
         for graph_name in needed_graphs:
-            shared[graph_name] = SharedCase(build_case(graph_name, spec, cache))
+            shared[graph_name] = SharedCase(
+                build_case(graph_name, spec, cache, telemetry=tel)
+            )
 
         if own_pool:
             pool = WorkerPool(worker_count)
@@ -672,7 +674,10 @@ def run_suite_threads(
     # The corpus is built once and shared by reference: the GraphCase
     # arrays are read-only by convention and every kernel allocates its
     # own outputs, exactly as in the serial path.
-    cases = {name: build_case(name, spec, cache) for name in needed_graphs}
+    cases = {
+        name: build_case(name, spec, cache, telemetry=tel)
+        for name in needed_graphs
+    }
 
     results_q: "queue_mod.Queue" = queue_mod.Queue()
     task_queues = {slot: queue_mod.Queue() for slot in range(jobs)}

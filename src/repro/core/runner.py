@@ -91,7 +91,12 @@ class GraphCase:
         return cls(name, graph, weighted, undirected)
 
 
-def build_case(graph_name: str, spec: BenchmarkSpec, cache: GraphCache | None = None) -> GraphCase:
+def build_case(
+    graph_name: str,
+    spec: BenchmarkSpec,
+    cache: GraphCache | None = None,
+    telemetry: Telemetry | None = None,
+) -> GraphCase:
     """Build one corpus case, going through the graph cache when given.
 
     A cache hit skips generation *and* derived-view construction entirely
@@ -103,13 +108,35 @@ def build_case(graph_name: str, spec: BenchmarkSpec, cache: GraphCache | None = 
     case is cached under the file's SHA-256 content digest (renames hit,
     edits miss), and parallel executors publish the built case over shared
     memory — workers never touch the file.
+
+    A *corrupt* cache artifact (checksum/parse failure, torn pair) still
+    degrades to a rebuild, but not silently: with ``telemetry`` given,
+    each corruption the lookup detected becomes a structured
+    ``cache-corruption`` warning span, and the cache's ``corrupt`` /
+    ``corrupt_events`` counters record it either way.
     """
     from ..graphs.datasets import is_dataset_ref, resolve
+
+    def _note_corruption(start: int) -> None:
+        # Surface damage the load just detected; a plain cold miss adds
+        # no events, so warm paths pay one len() comparison.
+        if telemetry is None or cache is None:
+            return
+        for event in cache.corrupt_events[start:]:
+            telemetry.ingest(
+                Span(
+                    name="cache-corruption",
+                    attributes={"graph": graph_name},
+                    warnings=[{"warning": "graph-cache-corruption", **event}],
+                )
+            )
 
     if is_dataset_ref(graph_name):
         info = resolve(graph_name)
         if cache is not None:
+            seen = len(cache.corrupt_events)
             views = cache.load_dataset_views(info.digest, spec.seed)
+            _note_corruption(seen)
             if views is not None:
                 return GraphCase(graph_name, *views)
         case = GraphCase.from_graph(graph_name, info.load(), seed=spec.seed)
@@ -129,7 +156,9 @@ def build_case(graph_name: str, spec: BenchmarkSpec, cache: GraphCache | None = 
             # Fault-injection point: damage the artifact *before* the load
             # so the checksum-validated degrade-to-miss path is exercised.
             corrupt_cache(plan, cache, graph_name, spec.scale, spec.seed)
+        seen = len(cache.corrupt_events)
         views = cache.load_views(graph_name, spec.scale, spec.seed)
+        _note_corruption(seen)
         if views is not None:
             return GraphCase(graph_name, *views)
     case = GraphCase.build(graph_name, scale=spec.scale, seed=spec.seed)
@@ -584,7 +613,7 @@ def run_suite(
                 if any(key not in completed for key in graph_keys):
                     # A fully resumed graph is never built — resuming the
                     # tail of a campaign costs nothing for finished inputs.
-                    case = build_case(graph_name, spec, cache)
+                    case = build_case(graph_name, spec, cache, telemetry=tel)
                 for mode in modes:
                     for kernel in kernels:
                         for framework in frameworks:

@@ -175,7 +175,10 @@ class GraphCache:
     counts the subset of misses where an artifact *existed* but failed
     checksum or parse validation — the signal the resilience layer (and
     its cache-corruption fault tests) watch to distinguish "cold cache"
-    from "something is damaging artifacts".
+    from "something is damaging artifacts".  Each such miss also appends
+    a structured record to ``corrupt_events`` (artifact path plus a
+    machine-readable ``reason``), so callers can emit a warning span
+    instead of degrading damage to a silent rebuild.
     """
 
     def __init__(
@@ -186,6 +189,8 @@ class GraphCache:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        #: Structured record of every corrupt-artifact miss, in order.
+        self.corrupt_events: list[dict[str, object]] = []
 
     @property
     def version(self) -> str:
@@ -300,6 +305,16 @@ class GraphCache:
         """
         return self._load_case(self.dataset_path_for(digest, seed))
 
+    def _record_corrupt(
+        self, path: Path, reason: str, **detail: object
+    ) -> None:
+        """Count one corrupt-artifact miss and keep its structured record."""
+        self.corrupt += 1
+        self.misses += 1
+        self.corrupt_events.append(
+            {"path": str(path), "reason": reason, **detail}
+        )
+
     def _load_case(
         self, path: Path
     ) -> tuple[CSRGraph, CSRGraph, CSRGraph] | None:
@@ -310,11 +325,20 @@ class GraphCache:
         # From here on the artifact (or its sidecar) exists, so any
         # failure is damage — a torn pair, a checksum mismatch, or an
         # unparseable payload — and counts as corruption, not coldness.
+        if not path.exists():
+            self._record_corrupt(path, "missing-artifact")
+            return None
+        if not checksum_path.exists():
+            self._record_corrupt(path, "missing-checksum-sidecar")
+            return None
         try:
             expected = checksum_path.read_text(encoding="ascii").strip()
-            if _sha256(path) != expected:
-                self.corrupt += 1
-                self.misses += 1
+            actual = _sha256(path)
+            if actual != expected:
+                self._record_corrupt(
+                    path, "checksum-mismatch",
+                    expected=expected, actual=actual,
+                )
                 return None
             with np.load(path, allow_pickle=False) as data:
                 meta = json.loads(str(data["meta"]))
@@ -323,9 +347,11 @@ class GraphCache:
                     for i in range(sum(1 for k in data.files if k != "meta"))
                 ]
             views = recompose_case(meta["layout"], arrays)
-        except (OSError, ValueError, KeyError, GraphFormatError, json.JSONDecodeError):
-            self.corrupt += 1
-            self.misses += 1
+        except (OSError, ValueError, KeyError, GraphFormatError, json.JSONDecodeError) as exc:
+            self._record_corrupt(
+                path, "unparseable-artifact",
+                error=f"{type(exc).__name__}: {exc}",
+            )
             return None
         self.hits += 1
         return views

@@ -32,6 +32,15 @@ See ``docs/RESILIENCE.md`` for formats, semantics, and the hook reference.
 
 from .breaker import CircuitBreaker
 from .faults import FaultSpec, active_plan, parse_plan
+from .iofaults import (
+    IOFaultSpec,
+    active_io_plan,
+    clear_io_plan,
+    fired_io_faults,
+    install_io_plan,
+    io_faults,
+    parse_io_plan,
+)
 from .journal import (
     JOURNAL_VERSION,
     CheckpointJournal,
@@ -47,12 +56,18 @@ __all__ = [
     "CheckpointJournal",
     "CircuitBreaker",
     "FaultSpec",
+    "IOFaultSpec",
     "JOURNAL_VERSION",
     "RetryPolicy",
+    "active_io_plan",
     "active_plan",
     "campaign_fingerprint",
     "classify_failure",
+    "clear_io_plan",
+    "fired_io_faults",
     "graceful_shutdown",
-    "parse_plan",
+    "install_io_plan",
+    "io_faults",
+    "parse_io_plan",
     "read_journal",
 ]

@@ -31,12 +31,12 @@ it without the fault is precisely the crash/resume test protocol.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 from typing import Iterable
 
 from ..core.results import RunResult
 from ..errors import JournalError
+from .iofaults import shim_fsync, shim_write
 
 __all__ = [
     "JOURNAL_VERSION",
@@ -209,21 +209,35 @@ class CheckpointJournal:
         by a crash leaves an unterminated tail, which is exactly the cell
         that must be re-executed anyway.
         """
+        # Layering: repro.store sits above repro.resilience, so the
+        # checksum helpers are imported lazily (same as the fingerprint's
+        # environment import).
+        from ..store.integrity import verify_line
+
         raw = path.read_bytes()
         lines = raw.split(b"\n")
         if raw and not raw.endswith(b"\n"):
             lines = lines[:-1]  # torn tail: the interrupted append
+        stripped = [line.strip() for line in lines]
+        stripped = [line for line in stripped if line]
         records = []
-        for line in lines:
-            line = line.strip()
-            if not line:
-                continue
+        for index, line in enumerate(stripped):
+            final = index == len(stripped) - 1
             try:
-                records.append(json.loads(line))
+                record = json.loads(line)
             except json.JSONDecodeError as exc:
+                if final and index > 0:
+                    break  # flushed but garbled tail: treat as torn
                 raise JournalError(
                     f"journal {path} has a corrupt non-trailing line: {exc}"
                 ) from exc
+            if not isinstance(record, dict) or not verify_line(record):
+                if final and index > 0:
+                    break  # checksum-failed tail: never fully durable
+                raise JournalError(
+                    f"journal {path} line {index + 1} failed its checksum"
+                )
+            records.append(record)
         if not records:
             raise JournalError(f"journal {path} has no header line")
         header = records[0]
@@ -238,12 +252,16 @@ class CheckpointJournal:
     def _append(self, record: dict[str, object]) -> None:
         if self._stream is None:
             raise JournalError(f"journal {self.path} is closed")
-        # One pre-encoded line per write call, then flush + fsync: the
-        # record is either fully on disk or detectably torn, never
-        # interleaved or silently buffered past a crash.
-        self._stream.write(json.dumps(record, default=str).encode() + b"\n")
-        self._stream.flush()
-        os.fsync(self._stream.fileno())
+        from ..store.integrity import seal_line
+
+        # One pre-encoded, checksummed line per write call, then flush +
+        # fsync: the record is either fully on disk or detectably torn,
+        # never interleaved or silently buffered past a crash.  Routed
+        # through the I/O-fault shim so chaos tests can tear or fail this
+        # exact append.
+        data = json.dumps(seal_line(record), default=str).encode() + b"\n"
+        shim_write(self._stream, data, self.path)
+        shim_fsync(self._stream, self.path)
 
     def record(self, result: RunResult) -> None:
         """Durably append one completed cell."""

@@ -22,6 +22,13 @@ The response is a stream of newline-delimited JSON events:
 ``done``
     Terminal event: totals, and ``fresh_run_id`` if this submission
     caused an execution that was archived.
+``degraded``
+    Terminal event when the server is in hits-only read-only mode
+    (disk/memory below its watermarks, or draining for shutdown): every
+    cached cell was still served, but the listed misses were *rejected*
+    — nothing was enqueued or written.  Carries the watermark
+    ``reasons`` and a ``retry_after_seconds`` hint; clients should
+    resubmit later, and will then hit for everything already measured.
 ``error``
     Terminal event on rejection (capacity, engine failure, or a dataset
     reference that does not resolve on the server's filesystem).
@@ -48,7 +55,7 @@ from ..store.archive import canonical_json
 
 __all__ = ["EVENT_KINDS", "CampaignRequest", "encode_event"]
 
-EVENT_KINDS = ("accepted", "cell", "done", "error")
+EVENT_KINDS = ("accepted", "cell", "done", "degraded", "error")
 
 MODE_VALUES = ("baseline", "optimized")
 

@@ -30,6 +30,9 @@ The submission path:
 from __future__ import annotations
 
 import json
+import os
+import shutil
+import signal
 import threading
 import time
 from collections import OrderedDict
@@ -50,12 +53,18 @@ from ..graphs.datasets import graph_identities
 from ..resilience.journal import CheckpointJournal, campaign_fingerprint, read_journal
 from ..store.archive import RunArchive
 from ..store.cellindex import (
-    CellIndex,
     cell_digest,
     identity_hasher,
     normalize_cell_key,
 )
 from ..store.environment import fingerprint
+from ..store.integrity import (
+    last_scrub_report,
+    open_self_healing_index,
+    quarantine_count,
+    quarantine_run,
+    verify_run,
+)
 from .protocol import CampaignRequest, encode_event
 
 __all__ = ["BenchmarkService", "ServiceHTTPServer", "serve_forever"]
@@ -66,6 +75,35 @@ DEFAULT_RESULT_CACHE_SIZE = 65536
 
 #: Campaigns allowed to wait for the engine before submissions bounce.
 DEFAULT_MAX_PENDING_JOBS = 16
+
+#: Disk low-watermark: below this many free bytes at the archive root
+#: the service degrades to hits-only read-only mode instead of risking
+#: half-written runs.  Overridable per server (``--min-free-mb``) or via
+#: the environment for subprocess harnesses.
+DEFAULT_MIN_FREE_BYTES = 64 * 1024 * 1024
+
+#: Environment overrides for the admission watermarks (used by the chaos
+#: harness to force degraded mode deterministically in a subprocess).
+MIN_FREE_BYTES_ENV = "REPRO_MIN_FREE_BYTES"
+MIN_AVAILABLE_MEMORY_ENV = "REPRO_MIN_AVAILABLE_MEMORY"
+
+#: Retry hint carried by ``degraded`` rejection events.
+DEGRADED_RETRY_AFTER_SECONDS = 30.0
+
+#: How often the watchdog checks that the engine thread is alive.
+DEFAULT_WATCHDOG_INTERVAL = 1.0
+
+
+def available_memory_bytes() -> int | None:
+    """``MemAvailable`` from /proc/meminfo, or None where unreadable."""
+    try:
+        with open("/proc/meminfo", encoding="ascii") as stream:
+            for line in stream:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
 
 
 class _Inflight:
@@ -108,9 +146,25 @@ class BenchmarkService:
         max_pending_jobs: int = DEFAULT_MAX_PENDING_JOBS,
         result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
         resume: bool = False,
+        min_free_bytes: int | None = None,
+        min_available_memory_bytes: int | None = None,
+        watchdog_interval: float = DEFAULT_WATCHDOG_INTERVAL,
     ) -> None:
         self.archive = RunArchive(archive_dir)
-        self.index = CellIndex.for_archive(self.archive)
+        # A corrupt cell index quarantines + rebuilds from the archive
+        # instead of refusing to start: the index is a cache, the runs
+        # are the source of truth.
+        self.index, self.index_heal_report = open_self_healing_index(self.archive)
+        if min_free_bytes is None:
+            min_free_bytes = int(
+                os.environ.get(MIN_FREE_BYTES_ENV, DEFAULT_MIN_FREE_BYTES)
+            )
+        if min_available_memory_bytes is None:
+            min_available_memory_bytes = int(
+                os.environ.get(MIN_AVAILABLE_MEMORY_ENV, 0)
+            )
+        self.min_free_bytes = int(min_free_bytes)
+        self.min_available_memory_bytes = int(min_available_memory_bytes)
         self.journal_dir = (
             Path(journal_dir)
             if journal_dir is not None
@@ -129,6 +183,9 @@ class BenchmarkService:
         self._job_seq = 0
         self._started_at = time.time()
         self._closed = False
+        self._draining = False
+        self._engine_job: _Job | None = None
+        self._watchdog_interval = max(0.05, float(watchdog_interval))
         self.stats: dict[str, int] = {
             "submissions": 0,
             "cells_requested": 0,
@@ -139,14 +196,28 @@ class BenchmarkService:
             "jobs_rejected": 0,
             "jobs_failed": 0,
             "cells_recovered": 0,
+            "engine_restarts": 0,
+            "submissions_degraded": 0,
+            "cells_degraded_rejected": 0,
+            "runs_quarantined": 0,
         }
         self.recovery_report: list[dict[str, object]] = []
+        #: Runs refused at serve time (digest mismatch → quarantined).
+        self.integrity_events: list[dict[str, object]] = []
         if resume:
             self.recovery_report = self._recover_journals()
-        self._engine = threading.Thread(
+        self._engine = self._spawn_engine()
+        self._watchdog = threading.Thread(
+            target=self._watchdog_loop, name="service-watchdog", daemon=True
+        )
+        self._watchdog.start()
+
+    def _spawn_engine(self) -> threading.Thread:
+        engine = threading.Thread(
             target=self._engine_loop, name="service-engine", daemon=True
         )
-        self._engine.start()
+        engine.start()
+        return engine
 
     # -- submission (handler threads) -----------------------------------
 
@@ -179,10 +250,19 @@ class BenchmarkService:
         hit_lines: list[bytes] = []
         owned: list[tuple[str, tuple[str, str, str, str]]] = []
         pending: set[str] = set()
+        rejected: list[tuple[str, str, str, str]] = []
+        # Admission control: when disk (or memory) is under its watermark
+        # — or the server is draining for shutdown — new *misses* are
+        # rejected before anything is claimed or enqueued, so a resource-
+        # critical submission can never cause a partial write.  Hits and
+        # coalesced subscriptions are read-only and still served.
+        degraded_reasons = self.degraded_reasons()
 
         with self._lock:
             self.stats["submissions"] += 1
             self.stats["cells_requested"] += len(cells)
+            if degraded_reasons:
+                self.stats["submissions_degraded"] += 1
             for key in cells:
                 digest = cell_digest(
                     None, normalize_cell_key(key, datasets), hasher=hasher
@@ -202,6 +282,10 @@ class BenchmarkService:
                     else:
                         entry.subscribers.append(queue)
                         pending.add(digest)
+                    continue
+                if degraded_reasons:
+                    rejected.append(key)
+                    self.stats["cells_degraded_rejected"] += 1
                     continue
                 self._inflight[digest] = _Inflight()
                 self._inflight[digest].subscribers.append(queue)
@@ -240,6 +324,7 @@ class BenchmarkService:
                 "cells": len(cells),
                 "hits": len(hit_lines),
                 "pending": len(pending),
+                **({"rejected": len(rejected)} if rejected else {}),
             }
         )
         for line in hit_lines:
@@ -272,6 +357,23 @@ class BenchmarkService:
                     "event": "error",
                     "campaign": request.campaign_id,
                     "message": failure,
+                }
+            )
+            return
+        if rejected:
+            # Terminal degraded rejection: every cached cell above was
+            # still served; the listed misses were refused without any
+            # write.  Structured, never a 5xx.
+            yield encode_event(
+                {
+                    "event": "degraded",
+                    "campaign": request.campaign_id,
+                    "cells": len(cells),
+                    "hits": len(hit_lines),
+                    "rejected": len(rejected),
+                    "rejected_cells": [list(key) for key in rejected],
+                    "reasons": degraded_reasons,
+                    "retry_after_seconds": DEGRADED_RETRY_AFTER_SECONDS,
                 }
             )
             return
@@ -309,9 +411,26 @@ class BenchmarkService:
         return entry["line"]
 
     def _warm_run_locked(self, run_id: str) -> None:
-        """Load one archived run's successful cells into the hot cache."""
+        """Load one archived run's successful cells into the hot cache.
+
+        The run is integrity-verified before anything from it is served:
+        a run whose payload no longer matches its manifest digests is
+        quarantined on the spot and treated as a miss — corrupt bytes
+        are never streamed to a client, they are re-measured.
+        """
         try:
             record = self.archive.lookup(run_id)
+            problems = verify_run(record.path)
+            if problems:
+                try:
+                    quarantine_run(self.archive, run_id)
+                except OSError:
+                    pass  # still refuse to serve it, even unquarantined
+                self.stats["runs_quarantined"] += 1
+                self.integrity_events.append(
+                    {"run_id": run_id, "problems": problems}
+                )
+                return
             results = record.load_results()
         except (ReproError, OSError, ValueError):
             return
@@ -369,12 +488,48 @@ class BenchmarkService:
             job = self._queue.get()
             if job is None:
                 return
+            with self._lock:
+                self._engine_job = job
             try:
                 self._execute(job)
                 with self._lock:
                     self.stats["jobs_executed"] += 1
-            except BaseException as exc:  # noqa: BLE001 - engine must survive
+            except Exception as exc:  # noqa: BLE001 - engine must survive
                 self._fail_job(job, exc)
+            # Deliberately NOT a finally: a BaseException (SystemExit,
+            # MemoryError escalation, interpreter teardown) kills this
+            # thread with the job still marked in-flight, and the
+            # watchdog uses that mark to resolve the orphaned job's
+            # subscribers before restarting the engine.
+            with self._lock:
+                self._engine_job = None
+
+    def _watchdog_loop(self) -> None:
+        """Restart a crashed engine thread without dropping subscribers.
+
+        A job-level failure is already contained by :meth:`_engine_loop`
+        (the job resolves with error events and the engine survives).
+        This watchdog covers the remaining case — the engine *thread*
+        dying — by resolving whatever job it held (so coalesced waiters
+        unblock instead of hanging forever) and spawning a fresh engine
+        that continues with the queued jobs.
+        """
+        while not self._closed:
+            time.sleep(self._watchdog_interval)
+            if self._closed or self._engine.is_alive():
+                continue
+            with self._lock:
+                if self._closed:
+                    return
+                orphan = self._engine_job
+                self._engine_job = None
+                self.stats["engine_restarts"] += 1
+            if orphan is not None:
+                self._fail_job(
+                    orphan,
+                    ServiceError("engine thread crashed mid-job; engine restarted"),
+                )
+            self._engine = self._spawn_engine()
 
     def _ensure_pool(self) -> WorkerPool:
         if self._pool is None or self._pool.closed:
@@ -582,24 +737,38 @@ class BenchmarkService:
                         **({"datasets": datasets} if datasets else {}),
                     },
                 )
-                record = self.archive.archive_run(
-                    results, spec=spec, source=f"service-recovery:{path.name}"
-                )
-                self.index.add_many(
-                    [
-                        (
-                            cell_digest(
-                                None,
-                                normalize_cell_key(result.cell_key, datasets),
-                                hasher=hasher,
-                            ),
-                            record.run_id,
-                            result.cell_key,
-                        )
-                        for result in completed.values()
-                        if result.ok
-                    ]
-                )
+                try:
+                    record = self.archive.archive_run(
+                        results, spec=spec, source=f"service-recovery:{path.name}"
+                    )
+                    self.index.add_many(
+                        [
+                            (
+                                cell_digest(
+                                    None,
+                                    normalize_cell_key(result.cell_key, datasets),
+                                    hasher=hasher,
+                                ),
+                                record.run_id,
+                                result.cell_key,
+                            )
+                            for result in completed.values()
+                            if result.ok
+                        ]
+                    )
+                except OSError as exc:
+                    # Disk trouble mid-recovery (full disk, failing
+                    # device): the journal stays on disk — its cells
+                    # remain recoverable at the next startup — and the
+                    # server boots anyway instead of crash-looping.
+                    reports.append(
+                        {
+                            "journal": path.name,
+                            "error": f"recovery write failed: {exc}",
+                            "retained": True,
+                        }
+                    )
+                    continue
                 self.stats["cells_recovered"] += len(completed)
                 reports.append(
                     {
@@ -613,7 +782,105 @@ class BenchmarkService:
             path.unlink(missing_ok=True)
         return reports
 
+    # -- watermarks / degraded mode --------------------------------------
+
+    def resource_watermarks(self) -> dict[str, object]:
+        """Current disk/memory readings against the configured floors."""
+        # The archive root is created lazily on first write; until then,
+        # measure the nearest existing ancestor so a freshly started
+        # server still sees disk pressure before it writes anything.
+        probe = Path(self.archive.root).absolute()
+        while not probe.exists() and probe.parent != probe:
+            probe = probe.parent
+        try:
+            disk = shutil.disk_usage(probe)
+            disk_free: int | None = disk.free
+            disk_total: int | None = disk.total
+        except OSError:
+            disk_free = disk_total = None
+        return {
+            "disk_free_bytes": disk_free,
+            "disk_total_bytes": disk_total,
+            "min_free_bytes": self.min_free_bytes,
+            "memory_available_bytes": available_memory_bytes(),
+            "min_available_memory_bytes": self.min_available_memory_bytes,
+        }
+
+    def degraded_reasons(self) -> list[str]:
+        """Why new misses are being refused right now (empty = healthy).
+
+        Draining (graceful shutdown) and watermark breaches both put the
+        service in hits-only read-only mode; the reasons are surfaced
+        verbatim in ``degraded`` events and ``/health``.
+        """
+        reasons: list[str] = []
+        if self._draining:
+            reasons.append("draining: server is shutting down")
+        marks = self.resource_watermarks()
+        free = marks["disk_free_bytes"]
+        if free is not None and free < self.min_free_bytes:
+            reasons.append(
+                f"disk critically low: {free} bytes free at "
+                f"{self.archive.root} (floor {self.min_free_bytes})"
+            )
+        available = marks["memory_available_bytes"]
+        if (
+            self.min_available_memory_bytes
+            and available is not None
+            and available < self.min_available_memory_bytes
+        ):
+            reasons.append(
+                f"memory critically low: {available} bytes available "
+                f"(floor {self.min_available_memory_bytes})"
+            )
+        return reasons
+
     # -- introspection / lifecycle --------------------------------------
+
+    def health(self) -> dict[str, object]:
+        """Liveness + capacity payload for ``/health``.
+
+        Everything an operator (or the soak harness) needs to judge the
+        service at a glance: engine/pool liveness, queue depth against
+        capacity, disk/memory watermarks, degraded state, index size,
+        quarantine count, and the last scrub verdict.
+        """
+        with self._lock:
+            engine_alive = self._engine.is_alive()
+            restarts = self.stats["engine_restarts"]
+            inflight = len(self._inflight)
+            quarantined_serving = self.stats["runs_quarantined"]
+        pool = self._pool
+        reasons = self.degraded_reasons()
+        last_scrub = last_scrub_report(self.archive.root)
+        return {
+            "ok": engine_alive and not reasons,
+            "degraded": bool(reasons),
+            "degraded_reasons": reasons,
+            "draining": self._draining,
+            "engine_alive": engine_alive,
+            "engine_restarts": restarts,
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self._queue.maxsize,
+            "inflight_cells": inflight,
+            "pool_alive": pool is not None and not pool.closed,
+            "pool_jobs": self.jobs,
+            "watermarks": self.resource_watermarks(),
+            "indexed_cells": len(self.index),
+            "index_healed_at_startup": self.index_heal_report,
+            "quarantine_count": quarantine_count(self.archive.root),
+            "runs_quarantined_while_serving": quarantined_serving,
+            "graph_cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "corrupt": self.cache.corrupt,
+                "corrupt_events": list(self.cache.corrupt_events[-10:]),
+            },
+            "last_scrub_verdict": (
+                last_scrub.get("verdict") if last_scrub else None
+            ),
+            "last_scrub": last_scrub,
+        }
 
     def status(self) -> dict[str, object]:
         """Introspection payload: stats, hit rate, queue/cache depths."""
@@ -623,6 +890,8 @@ class BenchmarkService:
             cached = len(self._results)
         requested = stats["cells_requested"]
         served = stats["cells_hit"] + stats["cells_coalesced"]
+        reasons = self.degraded_reasons()
+        last_scrub = last_scrub_report(self.archive.root)
         return {
             "uptime_seconds": round(time.time() - self._started_at, 3),
             "archive": str(self.archive.root),
@@ -630,18 +899,37 @@ class BenchmarkService:
             "hot_cache_cells": cached,
             "inflight_cells": inflight,
             "queued_jobs": self._queue.qsize(),
+            "queue_capacity": self._queue.maxsize,
             "hit_rate": round(served / requested, 6) if requested else None,
             "recovery": self.recovery_report,
+            "degraded": bool(reasons),
+            "degraded_reasons": reasons,
+            "draining": self._draining,
+            "quarantine_count": quarantine_count(self.archive.root),
+            "last_scrub_verdict": (
+                last_scrub.get("verdict") if last_scrub else None
+            ),
             **stats,
         }
 
-    def shutdown(self) -> None:
+    def drain(self, timeout: float = 300.0) -> None:
+        """Graceful drain: refuse new misses, finish queued work, stop.
+
+        New submissions still get their hits (and a structured
+        ``degraded`` rejection for misses); every job already queued or
+        in flight runs to completion — journaled, archived, indexed,
+        fsynced — before the engine stops.  Idempotent, like shutdown.
+        """
+        self._draining = True
+        self.shutdown(timeout=timeout)
+
+    def shutdown(self, timeout: float = 30.0) -> None:
         """Stop the engine and release the pool (idempotent)."""
         if self._closed:
             return
         self._closed = True
         self._queue.put(None)
-        self._engine.join(timeout=30.0)
+        self._engine.join(timeout=timeout)
         if self._pool is not None and not self._pool.closed:
             self._pool.shutdown()
         self.index.close()
@@ -679,6 +967,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:
         if self.path == "/healthz":
             self._send_json(200, {"ok": True})
+        elif self.path == "/health":
+            payload = self.service.health()
+            self._send_json(200 if payload["ok"] else 503, payload)
         elif self.path == "/status":
             self._send_json(200, self.service.status())
         else:
@@ -726,13 +1017,36 @@ def serve_forever(
     host: str = "127.0.0.1",
     port: int = 0,
     ready: Callable[[str, int], None] | None = None,
+    drain_on_sigterm: bool = True,
 ) -> None:
-    """Serve until /shutdown or KeyboardInterrupt; blocks the caller.
+    """Serve until /shutdown, SIGTERM, or KeyboardInterrupt; blocks.
 
     ``port=0`` binds an ephemeral port; ``ready`` receives the actual
     (host, port) before serving starts (the CLI prints it).
+
+    SIGTERM triggers a *graceful drain*: in-flight and queued jobs run
+    to completion (journaled, archived, fsynced), new misses get
+    structured ``degraded`` rejections meanwhile, and the process exits
+    0 — the contract supervisors (systemd, k8s) expect from a well-
+    behaved service.  The drain runs on a helper thread because the
+    signal arrives on the thread blocked in ``serve_forever()``.
     """
     server = ServiceHTTPServer((host, port), service)
+
+    def _drain_and_stop() -> None:
+        service.drain()
+        server.shutdown()
+
+    if drain_on_sigterm:
+        try:
+            signal.signal(
+                signal.SIGTERM,
+                lambda signum, frame: threading.Thread(
+                    target=_drain_and_stop, name="sigterm-drain", daemon=True
+                ).start(),
+            )
+        except ValueError:
+            pass  # not the main thread (embedded use); no signal hook
     try:
         if ready is not None:
             ready(*server.server_address[:2])

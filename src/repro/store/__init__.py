@@ -27,10 +27,21 @@ from .cellindex import (
     CELL_INDEX_VERSION,
     CellIndex,
     cell_digest,
+    derive_index_entries,
     identity_hasher,
     spec_identity,
 )
 from .environment import fingerprint, git_sha, version_string
+from .integrity import (
+    ScrubReport,
+    last_scrub_report,
+    open_self_healing_index,
+    quarantine_count,
+    scrub,
+    seal_line,
+    verify_line,
+    verify_run,
+)
 from .gate import GateReport, evaluate_gate, promote_baseline, write_gate_report
 from .stats import (
     DEFAULT_NOISE_THRESHOLD,
@@ -49,18 +60,27 @@ __all__ = [
     "GateReport",
     "RunArchive",
     "RunRecord",
+    "ScrubReport",
     "bench_payload",
     "bootstrap_ratio_ci",
     "cell_digest",
     "classify_cells",
     "default_archive_dir",
+    "derive_index_entries",
     "evaluate_gate",
     "fingerprint",
     "git_sha",
     "identity_hasher",
+    "last_scrub_report",
+    "open_self_healing_index",
     "promote_baseline",
+    "quarantine_count",
+    "scrub",
+    "seal_line",
     "spec_identity",
     "summarize_deltas",
+    "verify_line",
+    "verify_run",
     "version_string",
     "write_gate_report",
     "write_json_atomic",

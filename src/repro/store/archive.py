@@ -37,6 +37,7 @@ from typing import Iterable
 from ..core.results import ResultSet
 from ..core.telemetry import Span
 from ..errors import ArchiveError
+from ..resilience.iofaults import shim_fsync, shim_replace, shim_write
 from .environment import fingerprint, version_string
 
 __all__ = [
@@ -69,16 +70,23 @@ def canonical_json(payload: object) -> str:
 
 
 def write_json_atomic(path: str | Path, payload: object, indent: int = 2) -> None:
-    """Write a JSON file via temp file + ``os.replace``; never torn."""
+    """Write a JSON file via temp file + ``os.replace``; never torn.
+
+    Every byte goes through the I/O-fault shim, keyed on the
+    *destination* path (the temp name is an implementation detail), so a
+    fault plan can fail any specific atomic write — and a failed write
+    leaves the previous file intact, never a partial one.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".json.tmp")
     tmp = Path(tmp_name)
     try:
-        with os.fdopen(fd, "w", encoding="utf-8") as stream:
-            json.dump(payload, stream, indent=indent)
-            stream.write("\n")
-        os.replace(tmp, path)
+        data = (json.dumps(payload, indent=indent) + "\n").encode()
+        with os.fdopen(fd, "wb") as stream:
+            shim_write(stream, data, path)
+            shim_fsync(stream, path)
+        shim_replace(tmp, path)
     finally:
         tmp.unlink(missing_ok=True)
 
@@ -101,6 +109,13 @@ def bench_payload(name: str, data: dict[str, object]) -> dict[str, object]:
 
 def _utc_timestamp() -> str:
     return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def _stage_file(path: Path, data: bytes) -> None:
+    """Write + fsync one staged run file through the I/O-fault shim."""
+    with path.open("wb") as stream:
+        shim_write(stream, data, path)
+        shim_fsync(stream, path)
 
 
 @dataclass(frozen=True)
@@ -214,20 +229,28 @@ class RunArchive:
             tempfile.mkdtemp(dir=self.runs_dir, prefix=f".{run_id}.tmp-")
         )
         try:
-            (staging / "results.json").write_text(
-                json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+            results_bytes = (json.dumps(payload, indent=2) + "\n").encode()
+            spans_bytes = b"".join(
+                json.dumps(record, default=str).encode() + b"\n"
+                for record in span_records
             )
+            # Whole-run digests are computed from the *intended* bytes,
+            # before any file I/O: a payload corrupted on the way to disk
+            # (bit flip, partial page) shows up at scrub time as a
+            # manifest/file mismatch rather than silently becoming truth.
+            integrity = {"results.json": hashlib.sha256(results_bytes).hexdigest()}
             if span_records:
-                with (staging / "spans.jsonl").open(
-                    "w", encoding="utf-8"
-                ) as stream:
-                    for record in span_records:
-                        stream.write(json.dumps(record, default=str) + "\n")
-            (staging / "manifest.json").write_text(
-                json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+                integrity["spans.jsonl"] = hashlib.sha256(spans_bytes).hexdigest()
+            manifest["integrity"] = integrity
+            _stage_file(staging / "results.json", results_bytes)
+            if span_records:
+                _stage_file(staging / "spans.jsonl", spans_bytes)
+            _stage_file(
+                staging / "manifest.json",
+                (json.dumps(manifest, indent=2) + "\n").encode(),
             )
             try:
-                os.rename(staging, run_dir)
+                shim_replace(staging, run_dir)
             except OSError:
                 if (run_dir / "manifest.json").exists():
                     # Concurrent archiver won the rename; same content.

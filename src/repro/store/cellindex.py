@@ -45,20 +45,22 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import threading
 from pathlib import Path
 from typing import Iterable, Iterator
 
 from ..errors import ArchiveError
+from ..resilience.iofaults import shim_fsync, shim_write
 from .archive import RunArchive, canonical_json
 from .environment import COMPARABILITY_KEYS, fingerprint
+from .integrity import seal_line, verify_line
 
 __all__ = [
     "CELL_INDEX_VERSION",
     "CellIndex",
     "cell_digest",
     "comparable_environment",
+    "derive_index_entries",
     "identity_hasher",
     "normalize_cell_key",
     "spec_identity",
@@ -200,24 +202,45 @@ class CellIndex:
     # -- persistence ----------------------------------------------------
 
     def _load(self) -> None:
-        """Replay the JSONL file; discard a torn trailing line."""
+        """Replay the JSONL file, verifying each line's checksum.
+
+        A torn trailing line (no newline) is discarded — the interrupted
+        append never became durable.  A *final* line that fails to parse
+        or fails its checksum is discarded the same way: the writer died
+        between payload and fsync, so the record was never promised.  An
+        *interior* bad line is different — later appends succeeded after
+        it, so this is corruption (bit rot, two uncoordinated writers),
+        and the load fails so self-healing can quarantine and rebuild.
+        """
         if not self.path.exists():
             return
         raw = self.path.read_bytes()
         lines = raw.split(b"\n")
         if raw and not raw.endswith(b"\n"):
             lines = lines[:-1]  # torn tail: the interrupted append
-        for lineno, line in enumerate(lines):
-            line = line.strip()
-            if not line:
-                continue
+        numbered = [
+            (lineno, line.strip())
+            for lineno, line in enumerate(lines)
+            if line.strip()
+        ]
+        last = numbered[-1][0] if numbered else -1
+        for lineno, line in numbered:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
+                if lineno == last:
+                    break  # flushed but garbled tail: treat as torn
                 raise ArchiveError(
                     f"cell index {self.path} line {lineno + 1} is corrupt "
                     f"(delete the file to rebuild from the archive): {exc}"
                 ) from exc
+            if not isinstance(record, dict) or not verify_line(record):
+                if lineno == last:
+                    break  # checksum-failed tail: never fully durable
+                raise ArchiveError(
+                    f"cell index {self.path} line {lineno + 1} failed its "
+                    "checksum (delete the file to rebuild from the archive)"
+                )
             if lineno == 0:
                 if record.get("cell_index_version") != CELL_INDEX_VERSION:
                     raise ArchiveError(
@@ -241,11 +264,11 @@ class CellIndex:
         return self._stream
 
     def _write_line(self, record: dict[str, object]) -> None:
-        self._stream.write(json.dumps(record, default=str).encode() + b"\n")
+        data = json.dumps(seal_line(record), default=str).encode() + b"\n"
+        shim_write(self._stream, data, self.path)
 
     def _sync(self) -> None:
-        self._stream.flush()
-        os.fsync(self._stream.fileno())
+        shim_fsync(self._stream, self.path)
 
     def close(self) -> None:
         """Close the append stream (reopened lazily on next write)."""
@@ -324,34 +347,44 @@ class CellIndex:
     # -- recovery -------------------------------------------------------
 
     def rebuild_from_archive(self, archive: RunArchive) -> int:
-        """Re-derive entries from archived runs; returns cells indexed.
+        """Re-derive entries from archived runs; returns cells indexed."""
+        return self.add_many(derive_index_entries(archive))
 
-        Each run's manifest carries the spec and the environment that
-        measured it; each results.json carries the cells.  Runs without a
-        spec in the manifest (hand-archived payloads) are skipped — they
-        cannot be dedup targets because no submission can reproduce their
-        identity.
-        """
-        indexed = 0
-        for entry in archive.list_runs():
-            run_id = str(entry["run_id"])
-            try:
-                record = archive.lookup(run_id)
-                results = record.load_results()
-            except (ArchiveError, OSError, ValueError, KeyError):
+
+def derive_index_entries(
+    archive: RunArchive,
+) -> Iterator[tuple[str, str, CellKey]]:
+    """Every ``(digest, run_id, cell_key)`` an archive can prove.
+
+    Each run's manifest carries the spec and the environment that
+    measured it; each results.json carries the cells.  Runs without a
+    spec in the manifest (hand-archived payloads) are skipped — they
+    cannot be dedup targets because no submission can reproduce their
+    identity.  Failed cells (``error``/``timeout``/``skipped`` results)
+    are skipped too: the service only indexes and serves *ok* cells, so
+    deriving them here would rebuild an index promising hits the server
+    must then refuse.  This is both how
+    :meth:`CellIndex.rebuild_from_archive` recovers a lost index and the
+    ground truth the scrubber compares an existing index against.
+    """
+    for entry in archive.list_runs():
+        run_id = str(entry["run_id"])
+        try:
+            record = archive.lookup(run_id)
+            results = record.load_results()
+        except (ArchiveError, OSError, ValueError, KeyError):
+            continue
+        spec = record.manifest.get("spec")
+        environment = record.manifest.get("environment")
+        if not isinstance(spec, dict):
+            continue
+        env = environment if isinstance(environment, dict) else None
+        datasets = record.manifest.get("datasets")
+        datasets = datasets if isinstance(datasets, dict) else None
+        hasher = identity_hasher(spec, env)
+        for result in results:
+            if not result.ok:
                 continue
-            spec = record.manifest.get("spec")
-            environment = record.manifest.get("environment")
-            if not isinstance(spec, dict):
-                continue
-            env = environment if isinstance(environment, dict) else None
-            datasets = record.manifest.get("datasets")
-            datasets = datasets if isinstance(datasets, dict) else None
-            hasher = identity_hasher(spec, env)
-            batch = []
-            for result in results:
-                key = normalize_cell_key(result.cell_key, datasets)
-                digest = cell_digest(spec, key, hasher=hasher)
-                batch.append((digest, run_id, result.cell_key))
-            indexed += self.add_many(batch)
-        return indexed
+            key = normalize_cell_key(result.cell_key, datasets)
+            digest = cell_digest(spec, key, hasher=hasher)
+            yield digest, run_id, result.cell_key

@@ -105,7 +105,11 @@ class TestCellIndex:
         with CellIndex(path) as index:
             index.add("d1", "run-a", CELL)
         first = json.loads(path.read_text().splitlines()[0])
-        assert first == {"cell_index_version": CELL_INDEX_VERSION}
+        assert first["cell_index_version"] == CELL_INDEX_VERSION
+        # The header line is checksummed like every other record.
+        from repro.store.integrity import verify_line
+
+        assert "crc" in first and verify_line(first)
 
     def test_add_is_idempotent(self, tmp_path):
         path = tmp_path / "cell_index.jsonl"
@@ -138,10 +142,30 @@ class TestCellIndex:
         path = tmp_path / "cell_index.jsonl"
         with CellIndex(path) as index:
             index.add("d1", "run-a", CELL)
+            # A second entry keeps the corrupted line *interior*: later
+            # appends succeeded after it, so it is corruption, not a torn
+            # tail.
+            index.add("d2", "run-b", ("kron", "baseline", "cc", "gap"))
         raw = path.read_bytes()
         path.write_bytes(raw.replace(b'"digest"', b'"digest', 1))
         with pytest.raises(ArchiveError, match="rebuild"):
             CellIndex(path)
+
+    def test_corrupt_final_line_discarded_like_torn_tail(self, tmp_path):
+        path = tmp_path / "cell_index.jsonl"
+        with CellIndex(path) as index:
+            index.add("d1", "run-a", CELL)
+            index.add("d2", "run-b", ("kron", "baseline", "cc", "gap"))
+        raw = path.read_bytes()
+        # Flip one byte inside the *last* line's payload: the record was
+        # flushed but its checksum no longer matches — the writer died
+        # between payload and fsync, so the entry was never promised.
+        lines = raw.rstrip(b"\n").split(b"\n")
+        lines[-1] = lines[-1].replace(b"run-b", b"run-X")
+        path.write_bytes(b"\n".join(lines) + b"\n")
+        with CellIndex(path) as reloaded:
+            assert reloaded.run_id_for("d1") == "run-a"
+            assert "d2" not in reloaded
 
     def test_wrong_version_rejected(self, tmp_path):
         path = tmp_path / "cell_index.jsonl"
@@ -182,3 +206,123 @@ class TestCellIndex:
         index = CellIndex.for_archive(archive)
         assert index.rebuild_from_archive(archive) == 0
         index.close()
+
+
+class TestDeriveSkipsFailedCells:
+    def test_rebuild_indexes_only_ok_cells(self, tmp_path):
+        # The service only indexes and serves *ok* cells; a rebuild that
+        # resurrected error/timeout cells would promise hits the server
+        # must then refuse (and re-execute as a surprise miss).
+        archive = RunArchive(tmp_path)
+        spec = BenchmarkSpec(scale=8)
+        results = ResultSet(
+            [
+                _result(),
+                _result(kernel="cc", status="error"),
+                _result(kernel="pr", status="timeout"),
+            ],
+            meta={"environment": fingerprint()},
+        )
+        record = archive.archive_run(results, spec=spec)
+        with CellIndex.for_archive(archive) as index:
+            assert index.rebuild_from_archive(archive) == 1
+            assert index.run_id_for(cell_digest(spec, CELL)) == record.run_id
+            for kernel in ("cc", "pr"):
+                bad = ("kron", "baseline", kernel, "gap")
+                assert cell_digest(spec, bad) not in index
+
+
+class TestConcurrentWriterTornTail:
+    """Two uncoordinated writer processes, one killed mid-line.
+
+    Writer A's append tears (power loss mid-write: a prefix lands, the
+    newline never does).  Writer B then opens the same file: its load
+    discards A's torn tail in memory, but append mode writes at the
+    *physical* EOF — B's first line fuses with A's torn prefix into one
+    garbled interior line.  The next reader must refuse to trust the
+    file, and self-healing must converge back to exactly what the
+    archive can prove.
+    """
+
+    def _writer(self, tmp_path, body, faults=None):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env = {k: v for k, v in os.environ.items() if k != "REPRO_IO_FAULTS"}
+        env["PYTHONPATH"] = src
+        if faults is not None:
+            env["REPRO_IO_FAULTS"] = faults
+        prelude = (
+            "from repro.store.cellindex import CellIndex\n"
+            f"index = CellIndex({str(str(tmp_path / 'cell_index.jsonl'))!r})\n"
+        )
+        return subprocess.run(
+            [sys.executable, "-c", prelude + body],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+
+    def test_reader_recovers_and_rebuild_converges(self, tmp_path):
+        from repro.store.integrity import open_self_healing_index, quarantine_count
+
+        archive = RunArchive(tmp_path)
+        spec = BenchmarkSpec(scale=8)
+        results = ResultSet(
+            [_result(), _result(kernel="cc")],
+            meta={"environment": fingerprint()},
+        )
+        record = archive.archive_run(results, spec=spec)
+        with CellIndex.for_archive(archive) as index:
+            index.rebuild_from_archive(archive)
+        path = tmp_path / "cell_index.jsonl"
+        clean_size = path.stat().st_size
+
+        # Writer A: the very first append in its process tears.
+        proc_a = self._writer(
+            tmp_path,
+            "try:\n"
+            "    index.add('a' * 12, 'run-a', ('g', 'm', 'k', 'f'))\n"
+            "except OSError:\n"
+            "    raise SystemExit(0)\n"
+            "raise SystemExit(1)\n",
+            faults='[{"kind": "torn-write", "path": "cell_index"}]',
+        )
+        assert proc_a.returncode == 0, proc_a.stderr
+        raw = path.read_bytes()
+        assert len(raw) > clean_size  # a prefix landed...
+        assert not raw.endswith(b"\n")  # ...but the newline never did
+
+        # Writer B: loads fine (torn tail discarded in memory) and keeps
+        # appending — at the physical EOF, fusing with A's torn prefix.
+        proc_b = self._writer(
+            tmp_path,
+            "index.add('b' * 12, 'run-b', ('g', 'm', 'k', 'f'))\n"
+            "index.add('c' * 12, 'run-c', ('g', 'm', 'k', 'f'))\n"
+            "index.close()\n",
+        )
+        assert proc_b.returncode == 0, proc_b.stderr
+
+        # The fused line is now interior: a plain reader must refuse it.
+        with pytest.raises(ArchiveError, match="corrupt|checksum"):
+            CellIndex(path)
+
+        # Self-healing quarantines the damaged file and rebuilds exactly
+        # the archive's provable cells; B's unproven entries are gone.
+        index, heal = open_self_healing_index(archive)
+        try:
+            assert heal is not None
+            assert heal["reindexed_cells"] == 2
+            assert quarantine_count(archive.root) == 1
+            digest = cell_digest(spec, CELL)
+            assert index.run_id_for(digest) == record.run_id
+            assert "b" * 12 not in index
+            assert "c" * 12 not in index
+        finally:
+            index.close()
+        # Healing converges: the rebuilt index replays cleanly.
+        CellIndex(path).close()

@@ -105,12 +105,33 @@ def test_journal_rejects_corrupt_interior_line(tmp_path):
     path = tmp_path / "campaign.jsonl"
     with CheckpointJournal.create(path, _fingerprint(spec)) as journal:
         journal.record(_result())
+        # A second record keeps the corrupted line *interior*: a later
+        # append succeeded after it, so it is damage, not a torn tail.
+        journal.record(_result(kernel="cc"))
     raw = path.read_bytes().split(b"\n")
     raw[1] = b"{not json"  # a *terminated* corrupt line is real damage
     path.write_bytes(b"\n".join(raw))
 
     with pytest.raises(JournalError, match="corrupt"):
         CheckpointJournal.resume(path, _fingerprint(spec))
+
+
+def test_journal_discards_checksum_failed_tail(tmp_path):
+    spec = _spec()
+    path = tmp_path / "campaign.jsonl"
+    with CheckpointJournal.create(path, _fingerprint(spec)) as journal:
+        journal.record(_result())
+        journal.record(_result(kernel="cc"))
+    raw = path.read_bytes().rstrip(b"\n").split(b"\n")
+    # Flip payload bytes inside the *final* line: flushed but failing its
+    # checksum means the append never became durable — resume treats it
+    # exactly like a torn tail and re-runs that cell.
+    raw[-1] = raw[-1].replace(b'"cc"', b'"xx"')
+    path.write_bytes(b"\n".join(raw) + b"\n")
+
+    resumed, completed = CheckpointJournal.resume(path, _fingerprint(spec))
+    resumed.close()
+    assert set(completed) == {("kron", "baseline", "bfs", "gap")}
 
 
 def test_journal_rejects_different_campaign(tmp_path):
